@@ -1,0 +1,153 @@
+// Command rtseed-analyze runs the schedulability analysis of a task set:
+// RMWP optional deadlines and response times (the reconstruction of
+// Theorem 2 of the paper's reference [5]), the Liu & Layland utilization
+// bound, the RM-US highest-priority separation for the HPQ level, breakdown
+// utilization, and a partitioned assignment onto M processors.
+//
+// Usage:
+//
+//	rtseed-analyze -tasks "tau1:m=250ms,w=250ms,T=1s,o=1s,np=8" [-m 57]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtseed/internal/analysis"
+	"rtseed/internal/partition"
+	"rtseed/internal/report"
+	"rtseed/internal/task"
+)
+
+func main() {
+	spec := flag.String("tasks", "tau1:m=250ms,w=250ms,T=1s,o=1s,np=8",
+		"task set spec: name:m=<dur>,w=<dur>,T=<dur>[,o=<dur>,np=<int>]; ...")
+	m := flag.Int("m", 57, "number of processors (cores) for RM-US and partitioning")
+	taskFile := flag.String("taskfile", "", "load the task set from a JSON file instead of -tasks")
+	accept := flag.Bool("accept", false, "run an acceptance-ratio sweep over random task sets instead")
+	acceptN := flag.Int("accept-n", 6, "tasks per random set for -accept")
+	acceptSets := flag.Int("accept-sets", 200, "random sets per utilization point for -accept")
+	flag.Parse()
+	var err error
+	if *accept {
+		err = runAcceptance(*acceptN, *acceptSets)
+	} else {
+		err = runWithSource(*spec, *taskFile, *m)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+// runAcceptance sweeps random task sets over total utilization and compares
+// the RMWP test against general-RM exact analysis and the Liu & Layland
+// bound — the cost of guaranteeing wind-up parts.
+func runAcceptance(n, sets int) error {
+	var utils []float64
+	for u := 0.1; u <= 1.0001; u += 0.1 {
+		utils = append(utils, u)
+	}
+	points, err := analysis.AcceptanceRatio(analysis.AcceptanceConfig{
+		N:            n,
+		SetsPerPoint: sets,
+		Utilizations: utils,
+		Seed:         0xacce,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Acceptance ratio over %d random sets per point (n=%d, UUniFast):\n", sets, n)
+	tbl := report.NewTable("ΣU", "RMWP", "general RM (exact)", "Liu&Layland bound")
+	for _, p := range points {
+		tbl.AddRow(fmt.Sprintf("%.1f", p.Utilization), p.RMWP, p.GeneralRM, p.LLBound)
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+// runWithSource resolves the task set from a file or an inline spec.
+func runWithSource(spec, taskFile string, m int) error {
+	if taskFile != "" {
+		set, err := task.LoadFile(taskFile)
+		if err != nil {
+			return err
+		}
+		return analyze(set, m)
+	}
+	set, err := task.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	return analyze(set, m)
+}
+
+func analyze(set *task.Set, m int) error {
+
+	fmt.Printf("Task set: n=%d, ΣU=%.3f, system U on %d processors=%.3f, hyperperiod=%v\n",
+		set.Len(), set.Utilization(), m, set.SystemUtilization(m), set.Hyperperiod())
+	fmt.Printf("Liu&Layland bound n(2^(1/n)-1) = %.4f -> utilization test %s\n",
+		analysis.LiuLaylandBound(set.Len()), pass(analysis.UtilizationSchedulable(set)))
+	fmt.Printf("RM-US threshold M/(3M-2) = %.4f (tasks above it take the HPQ level 99)\n\n",
+		analysis.RMUSThreshold(m))
+
+	results, rerr := analysis.RMWP(set)
+	tbl := report.NewTable("task", "U", "np", "OD_i", "R^m", "R^w", "HPQ?", "schedulable")
+	for _, r := range results {
+		tbl.AddRow(r.Task.Name, r.Task.Utilization(), r.Task.NumOptional(),
+			r.OptionalDeadline, r.MandatoryResponse, r.WindupResponse,
+			analysis.NeedsHighestPriority(r.Task, m), r.Schedulable)
+	}
+	fmt.Println("RMWP analysis (uniprocessor, RM order):")
+	fmt.Println(tbl)
+	if rerr != nil && !errors.Is(rerr, analysis.ErrUnschedulable) {
+		return rerr
+	}
+
+	fmt.Printf("Breakdown utilization scale: %.3f\n\n", analysis.BreakdownUtilization(set, 0.001))
+
+	if rerr == nil {
+		sens, err := analysis.Sensitivities(set)
+		if err == nil {
+			fmt.Println("Per-task sensitivity (largest value keeping the set RMWP-schedulable):")
+			stbl := report.NewTable("task", "max m", "m slack", "max w", "w slack")
+			for _, se := range sens {
+				stbl.AddRow(se.Task, se.MaxMandatory, se.MandatorySlack, se.MaxWindup, se.WindupSlack)
+			}
+			fmt.Println(stbl)
+		}
+	}
+
+	asg, err := partition.Partition(set, m, partition.FirstFit)
+	if err != nil {
+		fmt.Printf("P-RMWP partitioning onto %d processors (first-fit decreasing): FAILED: %v\n", m, err)
+		return nil
+	}
+	fmt.Printf("P-RMWP partitioning onto %d processors (first-fit decreasing): %d used\n",
+		m, asg.UsedProcessors())
+	ptbl := report.NewTable("processor", "tasks", "U")
+	for p, tasks := range asg.PerProcessor {
+		if len(tasks) == 0 {
+			continue
+		}
+		names := ""
+		for i, t := range tasks {
+			if i > 0 {
+				names += ","
+			}
+			names += t.Name
+		}
+		ptbl.AddRow(p, names, asg.Utilization(p))
+	}
+	fmt.Println(ptbl)
+	return nil
+}
+
+func pass(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "inconclusive (run exact RMWP analysis below)"
+}

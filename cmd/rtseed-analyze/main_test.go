@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rtseed/internal/task"
+)
+
+func TestRunPaperTask(t *testing.T) {
+	if err := runWithSource("tau1:m=250ms,w=250ms,T=1s,o=1s,np=8", "", 57); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiTask(t *testing.T) {
+	if err := runWithSource("a:m=2ms,w=2ms,T=10ms; b:m=5ms,w=3ms,T=40ms", "", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnschedulableStillReports(t *testing.T) {
+	// Unschedulable sets are reported, not errors.
+	if err := runWithSource("a:m=6ms,w=3ms,T=10ms; b:m=6ms,w=3ms,T=10ms", "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	if err := runWithSource("garbage", "", 4); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestRunAcceptance(t *testing.T) {
+	if err := runAcceptance(3, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromTaskFile(t *testing.T) {
+	set := task.MustNewSet(task.Uniform("f", 2*time.Millisecond, 2*time.Millisecond, 0, 0, 20*time.Millisecond))
+	path := filepath.Join(t.TempDir(), "set.json")
+	if err := set.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithSource("ignored", path, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWithSource("ignored", filepath.Join(t.TempDir(), "missing.json"), 4); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Command rtseed-feedd serves the synthetic exchange-rate stream over TCP
+// as newline-delimited JSON — the "stock company" endpoint of the paper's
+// motivating scenario (§II-A). Pair it with `rtseed-trade -feed ADDR`.
+//
+// Usage:
+//
+//	rtseed-feedd [-listen 127.0.0.1:7070] [-ticks N] [-seed S] [-vol F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"rtseed/internal/trading"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	ticks := flag.Int("ticks", 100000, "ticks to serve per client")
+	seed := flag.Uint64("seed", 0xfeed, "generator seed")
+	vol := flag.Float64("vol", 0.002, "per-tick volatility")
+	flag.Parse()
+	if err := run(*listen, *ticks, *seed, *vol); err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-feedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, ticks int, seed uint64, vol float64) error {
+	feed, err := trading.NewFeed(trading.FeedConfig{Seed: seed, Volatility: vol})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rtseed-feedd: serving %d ticks/client on %s\n", ticks, ln.Addr())
+	srv := trading.NewFeedServer(feed)
+	return srv.Serve(ln, ticks)
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run("256.256.256.256:1", 1, 1, 0.001); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if err := run("127.0.0.1:0", 1, 1, -1); err == nil {
+		t.Fatal("negative volatility accepted")
+	}
+}

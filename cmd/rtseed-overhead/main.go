@@ -1,0 +1,134 @@
+// Command rtseed-overhead regenerates the paper's overhead evaluation
+// (Figs. 10-13): the four overheads of the parallel-extended imprecise
+// computation model swept over the number of parallel optional parts, the
+// three hardware-thread assignment policies, and the three background
+// loads, on the simulated Xeon Phi 3120A.
+//
+// Usage:
+//
+//	rtseed-overhead [-fig 10|11|12|13|0] [-jobs N] [-quick]
+//
+// -fig 0 (default) prints every figure. -quick reduces the sweep and job
+// count for a fast sanity run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/machine"
+	"rtseed/internal/overhead"
+	"rtseed/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (10-13; 0 = all)")
+	jobs := flag.Int("jobs", 100, "jobs per measurement (the paper uses 100)")
+	quick := flag.Bool("quick", false, "reduced sweep for a fast run")
+	seed := flag.Uint64("seed", 0, "machine jitter seed (0 = default)")
+	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
+	dist := flag.Bool("dist", false, "print overhead distributions (p50/p95/p99) at np=228 instead of the sweep")
+	flag.Parse()
+	var err error
+	if *dist {
+		err = runDistributions(*jobs, *seed)
+	} else {
+		err = run(*fig, *jobs, *quick, *seed, *csvPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)
+		os.Exit(1)
+	}
+}
+
+// runDistributions prints per-overhead latency distributions at the
+// worst-case operating point (np=228, One by One).
+func runDistributions(jobs int, seed uint64) error {
+	for _, load := range machine.Loads() {
+		m, err := overhead.Run(overhead.Config{
+			Load:     load,
+			Policy:   assign.OneByOne,
+			NumParts: 228,
+			Jobs:     jobs,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Overhead distributions — %s, np=228, One by One, %d jobs\n", load, jobs)
+		tbl := report.NewTable("overhead", "mean", "p50", "p95", "p99", "max", "stddev")
+		for _, kind := range overhead.Kinds() {
+			d := m.Distribution(kind)
+			tbl.AddRow(kind.String(), d.Mean, d.P50, d.P95, d.P99, d.Max, d.StdDev)
+		}
+		fmt.Println(tbl)
+	}
+	return nil
+}
+
+func run(fig, jobs int, quick bool, seed uint64, csvPath string) error {
+	cfg := overhead.SweepConfig{Jobs: jobs, Seed: seed}
+	if quick {
+		cfg.NumParts = []int{4, 57, 228}
+		if jobs > 10 {
+			cfg.Jobs = 10
+		}
+	}
+	var kinds []overhead.Kind
+	for _, k := range overhead.Kinds() {
+		if fig == 0 || k.Figure() == fig {
+			kinds = append(kinds, k)
+		}
+	}
+	if len(kinds) == 0 {
+		return fmt.Errorf("unknown figure %d (want 10-13 or 0)", fig)
+	}
+
+	var allFigs []overhead.FigureData
+	for _, load := range machine.Loads() {
+		figs, err := overhead.SweepLoad(cfg, load)
+		if err != nil {
+			return err
+		}
+		allFigs = append(allFigs, figs...)
+		for _, kind := range kinds {
+			fd := overhead.ByKindLoad(figs, kind, load)
+			if fd == nil {
+				continue
+			}
+			fmt.Printf("Figure %d (%s) — %s — mean over %d jobs\n",
+				kind.Figure(), kind, load, cfg.Jobs)
+			tbl := report.NewTable(append([]string{"np"}, policyNames(fd)...)...)
+			for i, pt := range fd.Series[0].Points {
+				row := []any{pt.NumParts}
+				for _, s := range fd.Series {
+					row = append(row, s.Points[i].Mean)
+				}
+				tbl.AddRow(row...)
+			}
+			fmt.Println(tbl)
+		}
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := overhead.WriteCSV(f, allFigs); err != nil {
+			return err
+		}
+		fmt.Printf("CSV written to %s\n", csvPath)
+	}
+	return nil
+}
+
+func policyNames(fd *overhead.FigureData) []string {
+	out := make([]string, len(fd.Series))
+	for i, s := range fd.Series {
+		out[i] = s.Policy.String()
+	}
+	return out
+}

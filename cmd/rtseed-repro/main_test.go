@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# RT-Seed reproduction report",
+		"Fig. 8", "Fig. 3",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13",
+		"Table I", "acceptance ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

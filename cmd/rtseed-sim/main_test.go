@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunPRMWPTraceGantt(t *testing.T) {
+	if err := run("tau1:m=25ms,w=25ms,T=100ms,o=1s,np=2", "prmwp", "one", "none",
+		300*time.Millisecond, 5*time.Millisecond, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneral(t *testing.T) {
+	if err := run("tau1:m=25ms,w=25ms,T=100ms", "general", "one", "cpu",
+		300*time.Millisecond, 5*time.Millisecond, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run("x", "prmwp", "one", "none", time.Second, 0, false, false); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := run("a:m=1ms,w=1ms,T=10ms", "bogus", "one", "none", time.Second, 0, false, false); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+	if err := run("a:m=1ms,w=1ms,T=10ms", "prmwp", "bogus", "none", time.Second, 0, false, false); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run("a:m=1ms,w=1ms,T=10ms", "prmwp", "one", "bogus", time.Second, 0, false, false); err == nil {
+		t.Fatal("bad load accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"net"
+	"testing"
+
+	"rtseed/internal/trading"
+)
+
+func TestRunShortTrade(t *testing.T) {
+	if err := run(20, "one", "none", "", 2.0, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPreciseMode(t *testing.T) {
+	if err := run(10, "all", "cpu", "", 0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := runSweep("two", "cpumem"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run(10, "bogus", "none", "", 1, 7); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run(10, "one", "bogus", "", 1, 7); err == nil {
+		t.Fatal("bad load accepted")
+	}
+}
+
+// End-to-end over TCP: a feed daemon serves ticks and the trading run
+// ingests them through the middleware's mandatory parts.
+func TestRunAgainstNetworkFeed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, err := trading.NewFeed(trading.FeedConfig{Seed: 7, Volatility: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := trading.NewFeedServer(feed)
+	go srv.Serve(ln, 1000)
+	defer srv.Close()
+	if err := run(15, "one", "none", ln.Addr().String(), 2.0, 7); err != nil {
+		t.Fatal(err)
+	}
+}

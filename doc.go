@@ -1,0 +1,14 @@
+// Package rtseed is a from-scratch Go reproduction of "RT-Seed: Real-Time
+// Middleware for Semi-Fixed-Priority Scheduling" (Chishiro, MIDDLEWARE
+// 2014): the P-RMWP semi-fixed-priority scheduling algorithm for the
+// parallel-extended imprecise computation model, implemented as user-space
+// middleware over a deterministic simulation of the paper's platform
+// (SCHED_FIFO on an Intel Xeon Phi 3120A), together with the schedulability
+// analysis, the hardware-thread assignment policies, the three optional-
+// part termination mechanisms, a real-time trading application, and the
+// full overhead evaluation of the paper's Figures 10-13 and Table I.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for the paper-versus-measured record.
+// The benchmarks in bench_test.go regenerate every figure and table.
+package rtseed

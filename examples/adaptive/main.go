@@ -1,0 +1,83 @@
+// Adaptive: the paper's concluding guidance — "traders should choose an
+// appropriate number of parallel optional parts by considering the overhead
+// associated with beginning and ending the processes" — as a closed-loop
+// controller. A task starts with 57 parallel optional parts under
+// CPU-Memory load; the controller bounds the ending overhead at 2ms by
+// shedding parts (AIMD), converging to the largest part count the budget
+// affords.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/core"
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const np = 57
+	mach, err := machine.New(machine.XeonPhi3120A(), machine.CPUMemoryLoad, machine.DefaultCostModel(), 11)
+	if err != nil {
+		return err
+	}
+	k := kernel.New(engine.New(), mach)
+	tk := task.Uniform("adaptive", 25*time.Millisecond, 25*time.Millisecond,
+		time.Second, np, 100*time.Millisecond)
+	cpus, err := assign.HWThreads(mach.Topology(), assign.OneByOne, np)
+	if err != nil {
+		return err
+	}
+	var lags []time.Duration
+	var active []int
+	p, err := core.NewProcess(k, core.Config{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  65 * time.Millisecond,
+		Jobs:              25,
+		Adaptive:          &core.Adaptive{EndingBudget: 2 * time.Millisecond},
+		Probes: core.Probes{OnWindupStart: func(job int, od, start engine.Time) {
+			lags = append(lags, start.Sub(od))
+		}},
+		App: core.App{OnWindup: func(job int, progress []float64) {
+			// ActiveParts reflects the NEXT job's count after adaptation.
+			active = append(active, len(progress))
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	p.Start()
+	k.Run()
+
+	fmt.Println("job  signalled-parts  ending-lag")
+	recs := p.Records()
+	for i, rec := range recs {
+		signalled := 0
+		for _, part := range rec.Parts {
+			if part.Outcome != task.PartDiscarded {
+				signalled++
+			}
+		}
+		fmt.Printf("%3d  %15d  %v\n", i, signalled, lags[i].Round(10*time.Microsecond))
+	}
+	st := p.Stats()
+	fmt.Printf("\nconverged to %d parts; %d deadline misses; budget 2ms\n",
+		p.ActiveParts(), st.DeadlineMisses)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Assignment: the three hardware-thread assignment policies of Fig. 8 on
+// the Xeon Phi 3120A topology, plus their measured effect on the ending
+// overhead (the Fig. 13 trade-off the paper's conclusion discusses).
+//
+//	go run ./examples/assignment
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/machine"
+	"rtseed/internal/overhead"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo := machine.XeonPhi3120A()
+
+	// Fig. 8: the layouts of 171 parallel optional parts.
+	fmt.Println("Fig. 8 — assigning 171 parallel optional parts to hardware threads")
+	for _, pol := range assign.Policies() {
+		hws, err := assign.HWThreads(topo, pol, 171)
+		if err != nil {
+			return err
+		}
+		hist := assign.CoreHistogram(topo, hws)
+		fmt.Printf("%-11s cores used: %2d  per-core occupancy: %s\n",
+			pol, assign.DistinctCores(topo, hws), sketch(hist))
+	}
+	fmt.Println()
+
+	// The trade-off: under background load, spreading parts over more
+	// cores (One by One) raises the ending overhead because every part
+	// shares its core with background tasks; packing them (All by All)
+	// displaces the background entirely.
+	fmt.Println("Ending overhead Δe at np=57 under CPU-Memory load (Fig. 13c):")
+	for _, pol := range assign.Policies() {
+		m, err := overhead.Run(overhead.Config{
+			Load:     machine.CPUMemoryLoad,
+			Policy:   pol,
+			NumParts: 57,
+			Jobs:     20,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-11s Δe = %v\n", pol, m.Mean(overhead.DeltaE).Round(10_000))
+	}
+	fmt.Println("\nOne by One pays the highest ending overhead under load, but spreads")
+	fmt.Println("parts one per core — the layout with the most parallel QoS headroom.")
+	return nil
+}
+
+// sketch renders a core histogram as a compact run-length string,
+// e.g. "4x28 3x1 2x28".
+func sketch(hist []int) string {
+	var parts []string
+	i := 0
+	for i < len(hist) {
+		j := i
+		for j < len(hist) && hist[j] == hist[i] {
+			j++
+		}
+		parts = append(parts, fmt.Sprintf("%dx%d", hist[i], j-i))
+		i = j
+	}
+	return strings.Join(parts, " ")
+}

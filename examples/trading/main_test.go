@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// Smoke test: the example runs end to end without error.
+func TestExampleRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

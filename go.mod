@@ -1,0 +1,3 @@
+module rtseed
+
+go 1.22

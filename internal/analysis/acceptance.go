@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/task"
+)
+
+// AcceptancePoint is one point of an acceptance-ratio curve: the fraction
+// of randomly generated task sets that each test admits at a target
+// utilization.
+type AcceptancePoint struct {
+	Utilization float64
+	// RMWP is the exact semi-fixed-priority test's acceptance ratio.
+	RMWP float64
+	// GeneralRM is the exact response-time test for general scheduling of
+	// the same task set (C = m + w, no optional deadline constraint).
+	GeneralRM float64
+	// LLBound is the Liu & Layland sufficient utilization test.
+	LLBound float64
+}
+
+// AcceptanceConfig parameterizes an acceptance-ratio experiment.
+type AcceptanceConfig struct {
+	// N is the tasks per set.
+	N int
+	// SetsPerPoint is how many random sets are drawn per utilization.
+	SetsPerPoint int
+	// Utilizations lists the ΣU targets to sweep.
+	Utilizations []float64
+	// WindupFraction is w/C for the generated tasks (default 0.5).
+	WindupFraction float64
+	// Seed seeds the generator.
+	Seed uint64
+}
+
+// AcceptanceRatio sweeps random task sets over target utilizations and
+// reports, per point, the acceptance ratios of the RMWP semi-fixed-priority
+// test, the general-RM exact test, and the Liu & Layland bound. RMWP's
+// acceptance can only be at or below general RM's: the optional deadline
+// constraint (mandatory parts must finish by OD_i) is strictly stronger
+// than plain deadline feasibility — the price of guaranteed wind-up parts.
+func AcceptanceRatio(cfg AcceptanceConfig) ([]AcceptancePoint, error) {
+	if cfg.N <= 0 || cfg.SetsPerPoint <= 0 || len(cfg.Utilizations) == 0 {
+		return nil, fmt.Errorf("analysis: bad acceptance config %+v", cfg)
+	}
+	out := make([]AcceptancePoint, 0, len(cfg.Utilizations))
+	seed := cfg.Seed
+	for _, u := range cfg.Utilizations {
+		var rmwp, rm, ll int
+		for i := 0; i < cfg.SetsPerPoint; i++ {
+			seed++
+			set, err := task.Generate(task.GenConfig{
+				N:                cfg.N,
+				TotalUtilization: u,
+				WindupFraction:   cfg.WindupFraction,
+				MinPeriod:        10 * time.Millisecond,
+				MaxPeriod:        time.Second,
+				Seed:             seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := RMWP(set); err == nil {
+				rmwp++
+			}
+			if _, ok := ResponseTimes(set); ok {
+				rm++
+			}
+			if UtilizationSchedulable(set) {
+				ll++
+			}
+		}
+		n := float64(cfg.SetsPerPoint)
+		out = append(out, AcceptancePoint{
+			Utilization: u,
+			RMWP:        float64(rmwp) / n,
+			GeneralRM:   float64(rm) / n,
+			LLBound:     float64(ll) / n,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/task"
+)
+
+// OverheadBudget models the middleware overheads the paper folds into the
+// mandatory/wind-up WCETs (§II-A), parameterized by measurements from the
+// overhead harness so the analysis and the measurements close the loop.
+type OverheadBudget struct {
+	// Release is the per-job release overhead (Δm).
+	Release time.Duration
+	// SignalPerPart is the per-optional-part beginning overhead
+	// (Δb / np).
+	SignalPerPart time.Duration
+	// EndPerPart is the per-optional-part ending overhead (Δe / np).
+	EndPerPart time.Duration
+}
+
+// Inflate returns a copy of the task with the measured overheads folded
+// into its WCETs: the mandatory part absorbs the release and signalling
+// overheads, the wind-up part absorbs the ending overhead. Feeding the
+// inflated set to RMWP yields optional deadlines that remain valid on the
+// measured platform.
+func (b OverheadBudget) Inflate(t task.Task) (task.Task, error) {
+	np := time.Duration(t.NumOptional())
+	t.Mandatory += b.Release + np*b.SignalPerPart
+	t.Windup += np * b.EndPerPart
+	if err := t.Validate(); err != nil {
+		return task.Task{}, fmt.Errorf("analysis: overheads exceed the period: %w", err)
+	}
+	return t, nil
+}
+
+// RMWPWithOverheads runs the RMWP analysis on the overhead-inflated task
+// set: the resulting optional deadlines already leave room for the
+// measured per-part costs, so a process configured with them needs no
+// ad-hoc margin.
+func RMWPWithOverheads(s *task.Set, b OverheadBudget) ([]Result, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, task.ErrEmptyTaskSet
+	}
+	inflated := make([]task.Task, 0, s.Len())
+	for _, t := range s.Tasks {
+		it, err := b.Inflate(t)
+		if err != nil {
+			return nil, err
+		}
+		inflated = append(inflated, it)
+	}
+	set, err := task.NewSet(inflated...)
+	if err != nil {
+		return nil, err
+	}
+	return RMWP(set)
+}

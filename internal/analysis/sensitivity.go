@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/task"
+)
+
+// Sensitivity reports, per task, how much one timing parameter can grow —
+// all other tasks unchanged — before the set stops being RMWP-schedulable.
+// It is the standard "how much margin does this task have" question a
+// deployment asks before enabling a new analysis stage.
+type Sensitivity struct {
+	Task string
+	// MaxMandatory is the largest m_i keeping the set schedulable.
+	MaxMandatory time.Duration
+	// MaxWindup is the largest w_i keeping the set schedulable.
+	MaxWindup time.Duration
+	// MandatorySlack and WindupSlack are the margins over the current
+	// values.
+	MandatorySlack time.Duration
+	WindupSlack    time.Duration
+}
+
+// Sensitivities computes per-task parameter margins by binary search over
+// the RMWP test. The input set must be schedulable.
+func Sensitivities(s *task.Set) ([]Sensitivity, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, task.ErrEmptyTaskSet
+	}
+	if _, err := RMWP(s); err != nil {
+		return nil, fmt.Errorf("analysis: base set unschedulable: %w", err)
+	}
+	out := make([]Sensitivity, 0, s.Len())
+	for i, t := range s.Tasks {
+		maxM := searchMax(s, i, t.Mandatory, func(tk *task.Task, v time.Duration) {
+			tk.Mandatory = v
+		})
+		maxW := searchMax(s, i, t.Windup, func(tk *task.Task, v time.Duration) {
+			tk.Windup = v
+		})
+		out = append(out, Sensitivity{
+			Task:           t.Name,
+			MaxMandatory:   maxM,
+			MaxWindup:      maxW,
+			MandatorySlack: maxM - t.Mandatory,
+			WindupSlack:    maxW - t.Windup,
+		})
+	}
+	return out, nil
+}
+
+// searchMax binary-searches the largest value of one parameter of task i
+// keeping the set RMWP-schedulable.
+func searchMax(s *task.Set, i int, current time.Duration, set func(*task.Task, time.Duration)) time.Duration {
+	ok := func(v time.Duration) bool {
+		tasks := make([]task.Task, len(s.Tasks))
+		copy(tasks, s.Tasks)
+		set(&tasks[i], v)
+		candidate, err := task.NewSet(tasks...)
+		if err != nil {
+			return false
+		}
+		_, err = RMWP(candidate)
+		return err == nil
+	}
+	lo, hi := current, s.Tasks[i].Period
+	if !ok(lo) {
+		return current // degenerate: caller verified base schedulability
+	}
+	for hi-lo > time.Microsecond {
+		mid := lo + (hi-lo)/2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

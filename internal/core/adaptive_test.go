@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+func TestAdaptiveNextAIMD(t *testing.T) {
+	a := &Adaptive{EndingBudget: time.Millisecond}
+	// Over budget: multiplicative decrease.
+	if got := a.next(16, 32, 2*time.Millisecond); got != 12 {
+		t.Fatalf("decrease: %d, want 12", got)
+	}
+	// Under half budget: additive increase.
+	if got := a.next(16, 32, 100*time.Microsecond); got != 17 {
+		t.Fatalf("increase: %d, want 17", got)
+	}
+	// In the comfort band: hold.
+	if got := a.next(16, 32, 700*time.Microsecond); got != 16 {
+		t.Fatalf("hold: %d, want 16", got)
+	}
+	// Floors and caps.
+	if got := a.next(1, 32, time.Hour); got != 1 {
+		t.Fatalf("floor: %d, want 1", got)
+	}
+	if got := a.next(32, 32, 0); got != 32 {
+		t.Fatalf("cap: %d, want 32", got)
+	}
+	b := &Adaptive{EndingBudget: time.Millisecond, MinParts: 4, Increase: 3}
+	if got := b.next(4, 32, time.Hour); got != 4 {
+		t.Fatalf("custom floor: %d, want 4", got)
+	}
+	if got := b.next(10, 32, 0); got != 13 {
+		t.Fatalf("custom step: %d, want 13", got)
+	}
+}
+
+// Under heavy load with many parts, the controller backs off until the
+// ending overhead fits its budget; without it, the full part count runs
+// every job.
+func TestAdaptiveControllerConverges(t *testing.T) {
+	const np = 32
+	runWith := func(adaptive *Adaptive) (*Process, *kernel.Kernel) {
+		model := machine.DefaultCostModel()
+		model.JitterFrac = 0
+		mach, err := machine.New(machine.XeonPhi3120A(), machine.CPUMemoryLoad, model, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernel.New(engine.New(), mach)
+		tk := task.Uniform("a", 25*time.Millisecond, 25*time.Millisecond, time.Second, np, 100*time.Millisecond)
+		cpus, err := assign.HWThreads(mach.Topology(), assign.OneByOne, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProcess(k, Config{
+			Task:              tk,
+			MandatoryPriority: 90,
+			MandatoryCPU:      0,
+			OptionalCPUs:      cpus,
+			OptionalDeadline:  65 * time.Millisecond,
+			Jobs:              20,
+			Adaptive:          adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		k.Run()
+		return p, k
+	}
+
+	// At np=32 under CPU-Memory load the ending overhead is several ms;
+	// budget it to 2ms and the controller must shed parts.
+	adaptive := &Adaptive{EndingBudget: 2 * time.Millisecond}
+	p, _ := runWith(adaptive)
+	if got := p.ActiveParts(); got >= np {
+		t.Fatalf("controller did not back off: active=%d", got)
+	}
+	if got := p.ActiveParts(); got < 1 {
+		t.Fatalf("controller under floor: %d", got)
+	}
+	// Discarded parts appear in the records once the controller sheds.
+	if st := p.Stats(); st.DiscardedParts == 0 {
+		t.Fatalf("expected shed parts to be discarded: %+v", st)
+	}
+	// The last jobs' ending lag respects the budget (with protocol slack).
+	recs := p.Records()
+	last := recs[len(recs)-1]
+	lag := time.Duration(last.WindupStart) - time.Duration(last.Release) - 65*time.Millisecond
+	if lag > 3*time.Millisecond {
+		t.Fatalf("converged lag %v exceeds budget", lag)
+	}
+
+	// Without the controller every part runs every job.
+	free, _ := runWith(nil)
+	if free.ActiveParts() != np {
+		t.Fatalf("uncontrolled process should keep all %d parts, got %d", np, free.ActiveParts())
+	}
+	if st := free.Stats(); st.DiscardedParts != 0 {
+		t.Fatalf("uncontrolled process discarded parts: %+v", st)
+	}
+}
+
+// With a generous budget the controller keeps (or climbs back to) the full
+// part count.
+func TestAdaptiveGenerousBudgetKeepsAllParts(t *testing.T) {
+	model := machine.DefaultCostModel()
+	model.JitterFrac = 0
+	mach, err := machine.New(machine.Topology{Cores: 8, ThreadsPerCore: 4}, machine.NoLoad, model, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(engine.New(), mach)
+	tk := task.Uniform("a", 20*time.Millisecond, 20*time.Millisecond, time.Second, 4, 100*time.Millisecond)
+	cpus, _ := assign.HWThreads(mach.Topology(), assign.OneByOne, 4)
+	p, err := NewProcess(k, Config{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  70 * time.Millisecond,
+		Jobs:              10,
+		Adaptive:          &Adaptive{EndingBudget: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.Run()
+	if p.ActiveParts() != 4 {
+		t.Fatalf("active parts %d, want 4", p.ActiveParts())
+	}
+	if st := p.Stats(); st.DiscardedParts != 0 {
+		t.Fatalf("generous budget discarded parts: %+v", st)
+	}
+}
+
+// Sporadic releases: with jitter, releases stay at least a period apart in
+// expectation and every job's deadline shifts with its release, so a
+// well-budgeted task still never misses.
+func TestReleaseJitter(t *testing.T) {
+	k := newSim(t, machine.NoLoad)
+	tk := task.Uniform("j", ms(20), ms(20), time.Second, 2, ms(100))
+	cpus, _ := assign.HWThreads(k.Machine().Topology(), assign.OneByOne, 2)
+	p, err := NewProcess(k, Config{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  ms(70),
+		Jobs:              10,
+		ReleaseJitter:     ms(20),
+		JitterSeed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.Run()
+	recs := p.Records()
+	if len(recs) != 10 {
+		t.Fatalf("%d jobs", len(recs))
+	}
+	jittered := false
+	for _, rec := range recs {
+		base := time.Duration(rec.Job) * tk.Period
+		off := rec.Release - base
+		if off < 0 || off >= ms(20) {
+			t.Fatalf("job %d jitter %v outside [0,20ms)", rec.Job, off)
+		}
+		if off > 0 {
+			jittered = true
+		}
+		// Deadline shifted with the release.
+		if rec.Deadline != rec.Release+tk.Period {
+			t.Fatalf("job %d deadline %v not release+T", rec.Job, rec.Deadline)
+		}
+		if !rec.Met() {
+			t.Fatalf("job %d missed under jitter", rec.Job)
+		}
+	}
+	if !jittered {
+		t.Fatal("no job was actually jittered")
+	}
+	// Determinism: same seed, same releases.
+	k2 := newSim(t, machine.NoLoad)
+	cpus2, _ := assign.HWThreads(k2.Machine().Topology(), assign.OneByOne, 2)
+	p2, err := NewProcess(k2, Config{
+		Task: tk, MandatoryPriority: 90, MandatoryCPU: 0,
+		OptionalCPUs: cpus2, OptionalDeadline: ms(70), Jobs: 10,
+		ReleaseJitter: ms(20), JitterSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Start()
+	k2.Run()
+	for i, rec := range p2.Records() {
+		if rec.Release != recs[i].Release {
+			t.Fatal("jitter must be deterministic per seed")
+		}
+	}
+}
+
+// Skip-over: when the try-catch pathology makes jobs overrun whole periods,
+// the skip policy drops the dead windows and re-synchronizes each executed
+// job with the period grid, while the default policy drains the backlog
+// late.
+func TestOverrunSkipPolicy(t *testing.T) {
+	runPolicy := func(policy OverrunPolicy) *Process {
+		k := newSim(t, machine.NoLoad)
+		tk := task.Uniform("o", ms(20), ms(20), time.Second, 2, ms(100))
+		cpus, _ := assign.HWThreads(k.Machine().Topology(), assign.OneByOne, 2)
+		p, err := NewProcess(k, Config{
+			Task:              tk,
+			MandatoryPriority: 90,
+			MandatoryCPU:      0,
+			OptionalCPUs:      cpus,
+			OptionalDeadline:  ms(70),
+			Jobs:              12,
+			Termination:       TryCatchTermination{}, // loses the timer after job 0
+			Overrun:           policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		k.RunUntil(engine.At(20 * time.Second))
+		return p
+	}
+	skip := runPolicy(OverrunSkip)
+	if skip.SkippedJobs() == 0 {
+		t.Fatal("the try-catch pathology should force skipped windows")
+	}
+	// Every executed job started within its own period window.
+	for _, rec := range skip.Records() {
+		if rec.MandatoryStart >= rec.Release+ms(100) {
+			t.Fatalf("job %d started at %v, outside its window from %v", rec.Job, rec.MandatoryStart, rec.Release)
+		}
+	}
+	cont := runPolicy(OverrunContinue)
+	if cont.SkippedJobs() != 0 {
+		t.Fatal("continue policy must not skip")
+	}
+	// The backlog drains: some job starts after its whole window passed.
+	late := false
+	for _, rec := range cont.Records() {
+		if rec.MandatoryStart >= rec.Release+ms(100) {
+			late = true
+		}
+	}
+	if !late {
+		t.Fatal("continue policy should run windows late under overrun")
+	}
+	if OverrunSkip.String() != "skip" || OverrunContinue.String() != "continue" {
+		t.Fatal("policy labels")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+// OverrunPolicy decides what happens when a job's entire period has already
+// elapsed before it could be released — only possible when an earlier job
+// overran (e.g. the try-catch termination pathology of Table I).
+type OverrunPolicy int
+
+const (
+	// OverrunContinue releases the late job immediately, the
+	// clock_nanosleep semantics of the paper's implementation (a past
+	// absolute wake time returns at once). Backlog drains in order.
+	OverrunContinue OverrunPolicy = iota
+	// OverrunSkip drops releases whose whole window has passed
+	// (skip-over): the task re-synchronizes with its period grid at the
+	// cost of losing jobs, which Process.SkippedJobs counts.
+	OverrunSkip
+)
+
+// String implements fmt.Stringer.
+func (o OverrunPolicy) String() string {
+	switch o {
+	case OverrunContinue:
+		return "continue"
+	case OverrunSkip:
+		return "skip"
+	default:
+		return "unknown-overrun-policy"
+	}
+}

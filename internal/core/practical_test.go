@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// practicalTask builds a two-section practical task: T=100ms, sections
+// (m=10ms, 2 parts) and (m=15ms, 1 part), wind-up 20ms.
+func practicalTask(o time.Duration) task.PracticalTask {
+	return task.PracticalTask{
+		Name: "prac",
+		Sections: []task.Section{
+			{Mandatory: ms(10), Optional: []time.Duration{o, o}},
+			{Mandatory: ms(15), Optional: []time.Duration{o}},
+		},
+		Windup: ms(20),
+		Period: ms(100),
+	}
+}
+
+func TestPracticalValidate(t *testing.T) {
+	if err := practicalTask(time.Second).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []task.PracticalTask{
+		{Name: "no-sections", Windup: 1, Period: 10},
+		{Name: "zero-m", Sections: []task.Section{{Mandatory: 0}}, Period: 10},
+		{Name: "overfull", Sections: []task.Section{{Mandatory: 9}}, Windup: 9, Period: 10},
+		{Name: "neg-opt", Sections: []task.Section{{Mandatory: 1, Optional: []time.Duration{-1}}}, Period: 10},
+	}
+	for _, tk := range bad {
+		if err := tk.Validate(); err == nil {
+			t.Errorf("%s accepted", tk.Name)
+		}
+	}
+}
+
+func TestPracticalFlattenEquivalence(t *testing.T) {
+	tk := practicalTask(time.Second)
+	flat := tk.Flatten()
+	if flat.Mandatory != ms(25) || flat.Windup != ms(20) || flat.Period != ms(100) {
+		t.Fatalf("flattened %+v", flat)
+	}
+	if flat.NumOptional() != 3 {
+		t.Fatalf("flattened np %d, want 3", flat.NumOptional())
+	}
+	if tk.WCET() != flat.WCET() || tk.Utilization() != flat.Utilization() {
+		t.Fatal("flatten must preserve the real-time demand")
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionDeadlines(t *testing.T) {
+	tk := practicalTask(time.Second) // equal optional lengths
+	ods, err := tk.SectionDeadlines(ms(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ods) != 2 {
+		t.Fatalf("%d deadlines", len(ods))
+	}
+	// Slack = 75 - 25 = 50ms, split 2:1 by optional workload:
+	// OD_0 = 10 + 33.3 = 43.3ms, OD_1 = 75ms.
+	if ods[1] != ms(75) {
+		t.Fatalf("last section deadline %v, want 75ms", ods[1])
+	}
+	if ods[0] <= ms(10) || ods[0] >= ods[1] {
+		t.Fatalf("section deadlines %v not strictly increasing within budget", ods)
+	}
+	want0 := ms(10) + time.Duration(float64(ms(50))*2.0/3.0)
+	if diff := ods[0] - want0; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("OD_0 = %v, want ~%v (2/3 of slack)", ods[0], want0)
+	}
+	if _, err := tk.SectionDeadlines(ms(10)); err == nil {
+		t.Fatal("OD below total mandatory accepted")
+	}
+	if _, err := tk.SectionDeadlines(ms(200)); err == nil {
+		t.Fatal("OD beyond period accepted")
+	}
+}
+
+func TestPracticalProcessRuns(t *testing.T) {
+	k := newSim(t, machine.NoLoad)
+	tk := practicalTask(time.Second) // all parts overrun
+	cpus, err := assign.HWThreads(k.Machine().Topology(), assign.OneByOne, tk.NumOptional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPracticalProcess(k, PracticalConfig{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  ms(70),
+		Jobs:              4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.Run()
+	st := p.Stats()
+	if st.Jobs != 4 {
+		t.Fatalf("jobs %d, want 4", st.Jobs)
+	}
+	if st.DeadlineMisses != 0 {
+		t.Fatalf("misses %d", st.DeadlineMisses)
+	}
+	// 3 parts per job, all overrunning -> all terminated.
+	if st.TerminatedParts != 12 {
+		t.Fatalf("terminated %d, want 12", st.TerminatedParts)
+	}
+	// Sections ran in order: every job's wind-up starts at the last
+	// section's optional deadline (70ms) plus ending overhead.
+	for _, rec := range p.Records() {
+		lag := rec.WindupStart - rec.Release - ms(70)
+		if lag < 0 || lag > ms(10) {
+			t.Fatalf("job %d wind-up lag %v", rec.Job, lag)
+		}
+	}
+}
+
+func TestPracticalSectionsInterleave(t *testing.T) {
+	k := newSim(t, machine.NoLoad)
+	// Short optional parts complete within their section windows.
+	tk := practicalTask(ms(2))
+	cpus, _ := assign.HWThreads(k.Machine().Topology(), assign.OneByOne, tk.NumOptional())
+	p, err := NewPracticalProcess(k, PracticalConfig{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  ms(70),
+		Jobs:              2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	k.Run()
+	st := p.Stats()
+	if st.CompletedParts != 6 {
+		t.Fatalf("completed %d, want 6", st.CompletedParts)
+	}
+	if st.MeanQoS != 1 {
+		t.Fatalf("QoS %v", st.MeanQoS)
+	}
+}
+
+func TestPracticalWithOneSectionMatchesParallelExtended(t *testing.T) {
+	// With a single section the practical model reduces to the
+	// parallel-extended model: same outcomes, same deadline behaviour.
+	k1 := newSim(t, machine.NoLoad)
+	single := task.PracticalTask{
+		Name:     "one",
+		Sections: []task.Section{{Mandatory: ms(25), Optional: []time.Duration{time.Second, time.Second}}},
+		Windup:   ms(25),
+		Period:   ms(100),
+	}
+	cpus, _ := assign.HWThreads(k1.Machine().Topology(), assign.OneByOne, 2)
+	pp, err := NewPracticalProcess(k1, PracticalConfig{
+		Task: single, MandatoryPriority: 90, MandatoryCPU: 0,
+		OptionalCPUs: cpus, OptionalDeadline: ms(70), Jobs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Start()
+	k1.Run()
+
+	k2 := newSim(t, machine.NoLoad)
+	pe := newProcess(t, k2, paperTask(2, time.Second), 3, nil, Probes{}, App{})
+	pe.Start()
+	k2.Run()
+
+	a, b := pp.Stats(), pe.Stats()
+	if a.TerminatedParts != b.TerminatedParts || a.DeadlineMisses != b.DeadlineMisses {
+		t.Fatalf("practical %+v vs parallel-extended %+v", a, b)
+	}
+}
+
+func TestPracticalConfigValidation(t *testing.T) {
+	k := newSim(t, machine.NoLoad)
+	tk := practicalTask(time.Second)
+	cpus, _ := assign.HWThreads(k.Machine().Topology(), assign.OneByOne, tk.NumOptional())
+	base := PracticalConfig{
+		Task: tk, MandatoryPriority: 90, MandatoryCPU: 0,
+		OptionalCPUs: cpus, OptionalDeadline: ms(70), Jobs: 1,
+	}
+	bad := []func(*PracticalConfig){
+		func(c *PracticalConfig) { c.MandatoryPriority = 10 },
+		func(c *PracticalConfig) { c.Jobs = 0 },
+		func(c *PracticalConfig) { c.OptionalCPUs = cpus[:1] },
+		func(c *PracticalConfig) { c.OptionalDeadline = ms(5) },
+		func(c *PracticalConfig) { c.SectionDeadlines = []time.Duration{ms(40)} },
+		func(c *PracticalConfig) { c.SectionDeadlines = []time.Duration{ms(50), ms(40)} },
+		func(c *PracticalConfig) { c.SectionDeadlines = []time.Duration{ms(40), ms(90)} },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewPracticalProcess(k, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewPracticalProcess(k, base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+// Package core implements the RT-Seed real-time middleware (paper §IV): a
+// parallel-extended imprecise task is a real-time process made of one
+// mandatory thread (executing the mandatory and wind-up parts) and np
+// parallel optional threads, scheduled with the P-RMWP semi-fixed-priority
+// algorithm on SCHED_FIFO priorities. The package reproduces the paper's
+// queue/priority design (Fig. 5), the execution protocol (Fig. 6), and the
+// three optional-part termination mechanisms (Fig. 7, Table I) against the
+// simulated kernel.
+package core
+
+import "fmt"
+
+// The SCHED_FIFO priority map of RT-Seed (paper §IV-B, Fig. 5): level 99 is
+// the Highest Priority Queue reserved for an RM-US highest-priority task;
+// mandatory threads occupy the Real-Time Queue levels [50, 98]; parallel
+// optional threads occupy the Non-Real-Time Queue levels [1, 49]. The
+// difference between a task's mandatory and optional priorities is exactly
+// PriorityGap = 49, so every RTQ thread outranks every NRTQ thread.
+const (
+	HPQPriority = 99
+	RTQMax      = 98
+	RTQMin      = 50
+	NRTQMax     = 49
+	NRTQMin     = 1
+	PriorityGap = 49
+)
+
+// OptionalPriority returns the NRTQ priority of the parallel optional
+// threads of a task whose mandatory thread has the given RTQ priority
+// (paper: "when the priority of the mandatory thread is 90, the parallel
+// optional threads have priorities of 41 (= 90 - 49)"). The HPQ task
+// (priority 99, the RM-US separation of footnote 1) gets the top NRTQ
+// level for its optional threads, since 99 − 49 = 50 would land in the RTQ.
+func OptionalPriority(mandatory int) (int, error) {
+	if mandatory == HPQPriority {
+		return NRTQMax, nil
+	}
+	if mandatory < RTQMin || mandatory > RTQMax {
+		return 0, fmt.Errorf("core: mandatory priority %d outside RTQ [%d,%d]",
+			mandatory, RTQMin, RTQMax)
+	}
+	return mandatory - PriorityGap, nil
+}
+
+// RTQPriorities assigns RTQ priorities to n tasks in rate-monotonic order
+// (index 0 = shortest period): 98, 97, ... downward. The RTQ holds at most
+// RTQMax-RTQMin+1 = 49 distinct levels.
+func RTQPriorities(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: need at least one task, got %d", n)
+	}
+	if n > RTQMax-RTQMin+1 {
+		return nil, fmt.Errorf("core: %d tasks exceed the %d RTQ levels", n, RTQMax-RTQMin+1)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = RTQMax - i
+	}
+	return out, nil
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// App carries the application callbacks of a parallel-extended imprecise
+// task: what the mandatory, optional, and wind-up parts actually compute
+// (e.g. ingest a tick / refine an indicator / make a trading decision). All
+// fields are optional. Callbacks run in host code at the corresponding
+// protocol points and consume no virtual time — the parts' durations come
+// from the task model.
+type App struct {
+	// OnMandatory runs when the mandatory part of a job completes.
+	OnMandatory func(job int)
+	// OnOptional runs when parallel optional part k of a job ends
+	// (completed or terminated), with the achieved progress in [0,1].
+	OnOptional func(job, k int, progress float64)
+	// OnWindup runs when the wind-up part of a job completes, with the
+	// per-part progress achieved this job (discarded parts report 0).
+	OnWindup func(job int, progress []float64)
+}
+
+// Probes are measurement hooks at the protocol points of Fig. 9. All fields
+// are optional; the overhead harness uses them to reproduce Figs. 10-13.
+type Probes struct {
+	// OnRelease fires when the mandatory part begins: Δm = start − release.
+	OnRelease func(job int, release, start engine.Time)
+	// OnSignalLoop brackets the pthread_cond_signal loop waking all
+	// parallel optional threads: Δb = end − start.
+	OnSignalLoop func(job int, start, end engine.Time)
+	// OnMandatoryBlock fires when the mandatory thread blocks waiting for
+	// the optional parts.
+	OnMandatoryBlock func(job int, at engine.Time)
+	// OnOptionalStart fires when parallel optional thread k begins its
+	// part: Δs = start(k=0) − mandatory block time (part 0 shares the
+	// mandatory thread's hardware thread).
+	OnOptionalStart func(job, k int, at engine.Time)
+	// OnWindupStart fires when the wind-up part begins:
+	// Δe = start − optional deadline when the parts overran.
+	OnWindupStart func(job int, od, start engine.Time)
+}
+
+// Config configures one parallel-extended imprecise task as an RT-Seed
+// real-time process.
+type Config struct {
+	// Task is the task's timing model.
+	Task task.Task
+	// MandatoryPriority is the mandatory thread's RTQ priority in
+	// [RTQMin, RTQMax]; the optional threads get MandatoryPriority −
+	// PriorityGap.
+	MandatoryPriority int
+	// MandatoryCPU pins the mandatory thread (and wind-up part).
+	MandatoryCPU machine.HWThread
+	// OptionalCPUs pins parallel optional thread k to OptionalCPUs[k];
+	// its length must equal Task.NumOptional(). Per the paper, the first
+	// entry should equal MandatoryCPU (enforced when np > 0).
+	OptionalCPUs []machine.HWThread
+	// OptionalDeadline is the relative optional deadline OD (from
+	// analysis.RMWP; for a single task, D − w).
+	OptionalDeadline time.Duration
+	// Jobs is how many jobs to execute.
+	Jobs int
+	// Termination is the optional-part termination mechanism; nil selects
+	// SigjmpTermination, the paper's choice.
+	Termination Termination
+	// Adaptive, when set, bounds the ending overhead by adjusting how
+	// many parallel optional parts are signalled per job (unsignalled
+	// parts are discarded). See Adaptive.
+	Adaptive *Adaptive
+	// Overrun selects what happens when a job's entire period has already
+	// passed by the time the mandatory thread could release it (a previous
+	// job overran): OverrunContinue (default) releases it late,
+	// OverrunSkip drops it (skip-over semantics) and counts it in
+	// SkippedJobs.
+	Overrun OverrunPolicy
+	// ReleaseJitter delays each job's release by a deterministic
+	// pseudo-random offset in [0, ReleaseJitter): the sporadic-arrival
+	// extension for feeds that do not tick exactly once per period. Each
+	// job's deadline and optional deadline shift with its release; the
+	// minimum inter-arrival time stays the period.
+	ReleaseJitter time.Duration
+	// JitterSeed seeds the release jitter (0 = derived from the task
+	// name length — set it explicitly for experiments).
+	JitterSeed uint64
+	// Migrate, when set, is consulted at every job release with the
+	// mandatory thread's current hardware thread; returning a different
+	// one migrates the mandatory thread there before the mandatory part
+	// runs. P-RMWP leaves this nil — partitioned tasks never migrate
+	// (§IV-B); the middleware-level G-RMWP runner uses it, paying the
+	// migration overhead the paper's design discussion predicts.
+	Migrate func(job int, current machine.HWThread) machine.HWThread
+	// App and Probes hook application logic and measurements.
+	App    App
+	Probes Probes
+}
+
+func (cfg *Config) validate() error {
+	if err := cfg.Task.Validate(); err != nil {
+		return err
+	}
+	if cfg.MandatoryPriority != HPQPriority &&
+		(cfg.MandatoryPriority < RTQMin || cfg.MandatoryPriority > RTQMax) {
+		return fmt.Errorf("core: mandatory priority %d outside RTQ [%d,%d] (or HPQ %d)",
+			cfg.MandatoryPriority, RTQMin, RTQMax, HPQPriority)
+	}
+	np := cfg.Task.NumOptional()
+	if len(cfg.OptionalCPUs) != np {
+		return fmt.Errorf("core: %d optional CPUs for %d optional parts",
+			len(cfg.OptionalCPUs), np)
+	}
+	if np > 0 && cfg.OptionalCPUs[0] != cfg.MandatoryCPU {
+		return fmt.Errorf("core: first optional part must share the mandatory thread's CPU %d, got %d",
+			cfg.MandatoryCPU, cfg.OptionalCPUs[0])
+	}
+	if cfg.OptionalDeadline <= 0 || cfg.OptionalDeadline > cfg.Task.Deadline() {
+		return fmt.Errorf("core: optional deadline %v outside (0, %v]",
+			cfg.OptionalDeadline, cfg.Task.Deadline())
+	}
+	if cfg.Jobs <= 0 {
+		return fmt.Errorf("core: jobs must be positive, got %d", cfg.Jobs)
+	}
+	return nil
+}
+
+// Process is a running parallel-extended imprecise task: one mandatory
+// thread plus np parallel optional threads on a simulated kernel.
+type Process struct {
+	k    *kernel.Kernel
+	cfg  Config
+	term Termination
+
+	mandatory *kernel.Thread
+	optionals []*kernel.Thread
+
+	mandCond *kernel.CondVar
+	optConds []*kernel.CondVar
+	// endLock serializes the per-part ending path: signal-delivery
+	// processing under the process-wide sighand lock plus the
+	// endOptionalPart bookkeeping on shared task state. All np parts
+	// terminating at the same optional deadline drain through it one at a
+	// time — the O(np) ending overhead of Fig. 13.
+	endLock *kernel.Mutex
+
+	// Protocol state. Host code is serialized by the kernel handshake, so
+	// plain fields are safe; the happens-before edges come from the
+	// resume/yield channels.
+	running     bool
+	activeParts int
+	skipped     int
+	partPending []bool
+	remaining   int
+	curJob      int
+	curOD       engine.Time
+	curParts    []task.PartRecord
+
+	records []task.JobRecord
+}
+
+// NewProcess builds the process and its threads (sched_setscheduler +
+// sched_setaffinity of Fig. 6). Threads start when Start is called.
+func NewProcess(k *kernel.Kernel, cfg Config) (*Process, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	term := cfg.Termination
+	if term == nil {
+		term = SigjmpTermination{}
+	}
+	optPrio, err := OptionalPriority(cfg.MandatoryPriority)
+	if err != nil {
+		return nil, err
+	}
+	np := cfg.Task.NumOptional()
+	p := &Process{
+		k:           k,
+		cfg:         cfg,
+		term:        term,
+		running:     true,
+		activeParts: np,
+		partPending: make([]bool, np),
+		endLock:     k.NewMutex(cfg.Task.Name + ".end"),
+		mandCond:    k.NewCondVar(cfg.Task.Name + ".mandatory"),
+		optConds:    make([]*kernel.CondVar, np),
+		optionals:   make([]*kernel.Thread, np),
+	}
+	p.mandatory, err = k.NewThread(kernel.ThreadConfig{
+		Name:     cfg.Task.Name + ".mand",
+		Priority: cfg.MandatoryPriority,
+		CPU:      cfg.MandatoryCPU,
+	}, p.mandatoryBody)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		i := i
+		p.optConds[i] = k.NewCondVar(fmt.Sprintf("%s.opt%d", cfg.Task.Name, i))
+		p.optionals[i], err = k.NewThread(kernel.ThreadConfig{
+			Name:     fmt.Sprintf("%s.opt%d", cfg.Task.Name, i),
+			Priority: optPrio,
+			CPU:      cfg.OptionalCPUs[i],
+		}, func(c *kernel.TCB) { p.optionalBody(c, i) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Start launches the process's threads.
+func (p *Process) Start() {
+	for _, t := range p.optionals {
+		t.Start()
+	}
+	p.mandatory.Start()
+}
+
+// SkippedJobs returns how many releases the OverrunSkip policy dropped.
+func (p *Process) SkippedJobs() int { return p.skipped }
+
+// Records returns the per-job records accumulated so far.
+func (p *Process) Records() []task.JobRecord {
+	out := make([]task.JobRecord, len(p.records))
+	copy(out, p.records)
+	return out
+}
+
+// Stats summarizes the accumulated job records.
+func (p *Process) Stats() task.Stats { return task.Summarize(p.records) }
+
+// Termination returns the configured termination mechanism.
+func (p *Process) Termination() Termination { return p.term }
+
+// MandatoryThread returns the mandatory thread (for trace filtering).
+func (p *Process) MandatoryThread() *kernel.Thread { return p.mandatory }
+
+// OptionalThreads returns the parallel optional threads.
+func (p *Process) OptionalThreads() []*kernel.Thread {
+	out := make([]*kernel.Thread, len(p.optionals))
+	copy(out, p.optionals)
+	return out
+}
+
+// mandatoryBody is the mandatory thread's program (Fig. 6, left column):
+// sleep to the release, execute the mandatory part, wake the parallel
+// optional threads, wait for them all to end, execute the wind-up part,
+// sleep until the next release.
+func (p *Process) mandatoryBody(c *kernel.TCB) {
+	t := p.cfg.Task
+	np := t.NumOptional()
+	var jitterRng *engine.Rand
+	if p.cfg.ReleaseJitter > 0 {
+		seed := p.cfg.JitterSeed
+		if seed == 0 {
+			seed = uint64(len(t.Name)) + 1
+		}
+		jitterRng = engine.NewRand(seed)
+	}
+	for job := 0; job < p.cfg.Jobs; job++ {
+		release := engine.At(time.Duration(job) * t.Period)
+		if jitterRng != nil {
+			release = release.Add(time.Duration(jitterRng.Uint64() % uint64(p.cfg.ReleaseJitter)))
+		}
+		if p.cfg.Overrun == OverrunSkip && c.Now() >= release.Add(t.Period) {
+			// The whole window has passed: skip-over.
+			p.skipped++
+			continue
+		}
+		c.SleepUntil(release)
+		if fn := p.cfg.Migrate; fn != nil {
+			if target := fn(job, c.HWThread()); target != c.HWThread() {
+				c.Migrate(target)
+			}
+		}
+		mandStart := c.Now()
+		if fn := p.cfg.Probes.OnRelease; fn != nil {
+			fn(job, release, mandStart)
+		}
+		c.Compute(t.Mandatory)
+		if fn := p.cfg.App.OnMandatory; fn != nil {
+			fn(job)
+		}
+		od := release.Add(p.cfg.OptionalDeadline)
+		p.curJob = job
+		p.curOD = od
+		p.curParts = make([]task.PartRecord, np)
+
+		active := np
+		if p.cfg.Adaptive != nil {
+			active = p.activeParts
+		}
+		if active > 0 && c.Now() < od {
+			// Wake the active parallel optional threads (Δb is this
+			// loop); the rest are discarded this job.
+			p.remaining = active
+			for k := 0; k < active; k++ {
+				p.partPending[k] = true
+			}
+			for k := active; k < np; k++ {
+				p.curParts[k] = task.PartRecord{
+					Outcome: task.PartDiscarded,
+					Length:  t.Optional[k],
+				}
+			}
+			bStart := c.Now()
+			for _, cv := range p.optConds[:active] {
+				c.CondSignal(cv)
+			}
+			if fn := p.cfg.Probes.OnSignalLoop; fn != nil {
+				fn(job, bStart, c.Now())
+			}
+			if fn := p.cfg.Probes.OnMandatoryBlock; fn != nil {
+				fn(job, c.Now())
+			}
+			for p.remaining > 0 {
+				c.CondWait(p.mandCond)
+			}
+		} else {
+			// No time left before the optional deadline: the parts are
+			// discarded — the optional threads never receive the wake-up
+			// signal (Fig. 1).
+			for k := 0; k < np; k++ {
+				p.curParts[k] = task.PartRecord{
+					Outcome: task.PartDiscarded,
+					Length:  t.Optional[k],
+				}
+			}
+		}
+
+		windupStart := c.Now()
+		if fn := p.cfg.Probes.OnWindupStart; fn != nil {
+			fn(job, od, windupStart)
+		}
+		if a := p.cfg.Adaptive; a != nil {
+			p.activeParts = a.next(p.activeParts, np, windupStart.Sub(od))
+		}
+		c.Compute(t.Windup)
+		if fn := p.cfg.App.OnWindup; fn != nil {
+			progress := make([]float64, np)
+			for k, pr := range p.curParts {
+				progress[k] = pr.Progress()
+			}
+			fn(job, progress)
+		}
+		p.records = append(p.records, task.JobRecord{
+			Job:            job,
+			Release:        release.Duration(),
+			MandatoryStart: mandStart.Duration(),
+			WindupStart:    windupStart.Duration(),
+			Finish:         c.Now().Duration(),
+			Deadline:       release.Add(t.Deadline()).Duration(),
+			Parts:          p.curParts,
+		})
+	}
+	// Deactivate and wake the optional threads so they can exit.
+	p.running = false
+	for _, cv := range p.optConds {
+		c.CondSignal(cv)
+	}
+}
+
+// optionalBody is parallel optional thread k's program (Fig. 7): wait for
+// the wake-up signal, run the optional part under the termination mechanism
+// with the one-shot optional-deadline timer, and when all parts have ended,
+// send the wake-up signal back to the mandatory thread.
+func (p *Process) optionalBody(c *kernel.TCB, k int) {
+	t := p.cfg.Task
+	for {
+		for p.running && !p.partPending[k] {
+			c.CondWait(p.optConds[k])
+		}
+		if !p.partPending[k] {
+			return // deactivated
+		}
+		p.partPending[k] = false
+		job, od := p.curJob, p.curOD
+		if fn := p.cfg.Probes.OnOptionalStart; fn != nil {
+			fn(job, k, c.Now())
+		}
+		completed, ran := p.term.RunOptional(c, od, t.Optional[k])
+		outcome := task.PartTerminated
+		if completed {
+			outcome = task.PartCompleted
+		}
+		rec := task.PartRecord{Outcome: outcome, Executed: ran, Length: t.Optional[k]}
+		p.curParts[k] = rec
+		if fn := p.cfg.App.OnOptional; fn != nil {
+			fn(job, k, rec.Progress())
+		}
+		// endOptionalPart: serialized per-part ending (sighand-lock
+		// signal processing + shared-state bookkeeping); the last part to
+		// end wakes the mandatory thread.
+		c.MutexLock(p.endLock)
+		c.ChargeOp(machine.OpEndOptional)
+		p.remaining--
+		last := p.remaining == 0
+		c.MutexUnlock(p.endLock)
+		if last {
+			c.CondSignal(p.mandCond)
+		}
+	}
+}

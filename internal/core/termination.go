@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+)
+
+// Termination is a mechanism for ending a parallel optional part at its
+// optional deadline in the user space (paper §IV-D, Fig. 7, Table I). A
+// mechanism runs one optional part of up to `length` execution time, with
+// the optional deadline at absolute time od, and reports whether the part
+// completed along with the CPU time it consumed.
+type Termination interface {
+	// Name returns the mechanism's label as used in Table I.
+	Name() string
+	// AnyTime reports whether the mechanism can terminate the optional part
+	// at any instant (Table I column "Any Time Termination").
+	AnyTime() bool
+	// RestoresSignalMask reports whether the mechanism restores the signal
+	// mask after a termination, so the next job's optional-deadline timer
+	// can fire (Table I column "Signal Mask Restoration").
+	RestoresSignalMask() bool
+	// RunOptional executes the part on the calling thread.
+	RunOptional(c *kernel.TCB, od engine.Time, length time.Duration) (completed bool, ran time.Duration)
+}
+
+// SigjmpTermination is the paper's chosen mechanism: sigsetjmp saves the
+// stack context and signal mask, a one-shot optional-deadline timer raises
+// SIGALRM, and the handler siglongjmps back — restoring both the stack
+// context and the signal mask. It terminates at any time and keeps the
+// timer working for subsequent jobs.
+type SigjmpTermination struct{}
+
+// Name implements Termination.
+func (SigjmpTermination) Name() string { return "sigsetjmp/siglongjmp" }
+
+// AnyTime implements Termination.
+func (SigjmpTermination) AnyTime() bool { return true }
+
+// RestoresSignalMask implements Termination.
+func (SigjmpTermination) RestoresSignalMask() bool { return true }
+
+// RunOptional implements Termination, following Fig. 7: save context, arm
+// the one-shot timer, execute; on completion disarm the timer, on SIGALRM
+// pay the siglongjmp restore and clear the handler's signal mask.
+func (SigjmpTermination) RunOptional(c *kernel.TCB, od engine.Time, length time.Duration) (bool, time.Duration) {
+	c.ChargeOp(machine.OpSigSetjmp)
+	c.TimerSet(od)
+	completed, ran := c.ComputeInterruptible(length)
+	if completed {
+		c.TimerStop()
+		return true, ran
+	}
+	// timer_handler ran siglongjmp: restore stack context AND signal mask.
+	c.ChargeOp(machine.OpSigLongjmp)
+	c.SetAlarmMask(false)
+	return false, ran
+}
+
+// PeriodicCheckTermination polls the clock between fixed-size compute chunks
+// and stops once the optional deadline has passed — no timer, no signals.
+// It cannot terminate at any time: the part overruns its optional deadline
+// by up to one check period, which "degrades the improvement of QoS"
+// (paper §IV-D). In exchange it is safe for optional parts that must
+// not be cut inside a critical section.
+type PeriodicCheckTermination struct {
+	// Period is the polling granularity. Zero defaults to 1ms.
+	Period time.Duration
+}
+
+// Name implements Termination.
+func (PeriodicCheckTermination) Name() string { return "Periodic Check" }
+
+// AnyTime implements Termination.
+func (PeriodicCheckTermination) AnyTime() bool { return false }
+
+// RestoresSignalMask implements Termination. The mechanism uses no signals,
+// so restoration is unnecessary (Table I).
+func (PeriodicCheckTermination) RestoresSignalMask() bool { return true }
+
+// RunOptional implements Termination.
+func (p PeriodicCheckTermination) RunOptional(c *kernel.TCB, od engine.Time, length time.Duration) (bool, time.Duration) {
+	period := p.Period
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	var ran time.Duration
+	for ran < length {
+		if c.Now() >= od {
+			return false, ran
+		}
+		chunk := period
+		if rest := length - ran; rest < chunk {
+			chunk = rest
+		}
+		c.Compute(chunk)
+		ran += chunk
+	}
+	return true, ran
+}
+
+// TryCatchTermination models the C++ try/catch alternative of §IV-D: the
+// SIGALRM handler throws, the exception unwinds the optional part at any
+// time — but the signal mask saved at handler entry is never restored, so
+// "the timer interrupt of the next job does not occur because the signal
+// mask is not cleared". After the first termination every subsequent job's
+// optional part runs to completion regardless of its optional deadline,
+// jeopardizing the wind-up part.
+type TryCatchTermination struct{}
+
+// Name implements Termination.
+func (TryCatchTermination) Name() string { return "try-catch" }
+
+// AnyTime implements Termination.
+func (TryCatchTermination) AnyTime() bool { return true }
+
+// RestoresSignalMask implements Termination.
+func (TryCatchTermination) RestoresSignalMask() bool { return false }
+
+// RunOptional implements Termination.
+func (TryCatchTermination) RunOptional(c *kernel.TCB, od engine.Time, length time.Duration) (bool, time.Duration) {
+	c.TimerSet(od)
+	completed, ran := c.ComputeInterruptible(length)
+	if completed {
+		c.TimerStop()
+		return true, ran
+	}
+	// The exception unwinds the stack (priced like the longjmp restore),
+	// but the signal mask is NOT cleared: SIGALRM stays blocked.
+	c.ChargeOp(machine.OpSigLongjmp)
+	return false, ran
+}
+
+var (
+	_ Termination = SigjmpTermination{}
+	_ Termination = PeriodicCheckTermination{}
+	_ Termination = TryCatchTermination{}
+)

@@ -1,0 +1,174 @@
+// Package engine implements a deterministic discrete-event simulation
+// engine: a virtual clock and an ordered event queue.
+//
+// All simulated subsystems (the machine model, the SCHED_FIFO kernel, the
+// RT-Seed middleware protocol) are driven by a single Engine. Events that
+// share a timestamp are ordered by priority and then by insertion sequence,
+// so a given program always produces the same schedule.
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration converts a virtual instant to the time.Duration elapsed since the
+// simulation origin.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// At builds a Time from a duration since the simulation origin.
+func At(d time.Duration) Time { return Time(d) }
+
+// Event is a scheduled callback. It is returned by Engine.Schedule so the
+// caller can cancel it before it fires.
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not queued
+}
+
+// When returns the instant the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+// Scheduled reports whether the event is still queued.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// ErrPast is returned by Schedule when asked to schedule an event before the
+// current virtual time.
+var ErrPast = errors.New("engine: event scheduled in the past")
+
+// Schedule queues fn to run at instant at. Events at the same instant run in
+// ascending priority order (lower value runs first) and then in insertion
+// order. It panics if at precedes the current time: that is always a
+// simulation bug, not a recoverable condition.
+func (e *Engine) Schedule(at Time, priority int, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast))
+	}
+	e.seq++
+	ev := &Event{at: at, priority: priority, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current time.
+func (e *Engine) After(d time.Duration, priority int, fn func()) *Event {
+	return e.Schedule(e.now.Add(d), priority, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step processes the next event, advancing the clock to its timestamp.
+// It reports whether an event was processed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the clock
+// to deadline. Events scheduled after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventQueue is a min-heap ordered by (at, priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(At(30*time.Millisecond), 0, func() { got = append(got, 3) })
+	e.Schedule(At(10*time.Millisecond), 0, func() { got = append(got, 1) })
+	e.Schedule(At(20*time.Millisecond), 0, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != At(30*time.Millisecond) {
+		t.Fatalf("clock at %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantPriorityThenSequence(t *testing.T) {
+	e := New()
+	var got []string
+	at := At(time.Second)
+	e.Schedule(at, 2, func() { got = append(got, "p2") })
+	e.Schedule(at, 1, func() { got = append(got, "p1-first") })
+	e.Schedule(at, 1, func() { got = append(got, "p1-second") })
+	e.Schedule(at, 0, func() { got = append(got, "p0") })
+	e.Run()
+	want := []string{"p0", "p1-first", "p1-second", "p2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(At(time.Millisecond), 0, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("event should be cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(At(time.Duration(i)*time.Millisecond), 0, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(At(time.Second), 0, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(At(time.Millisecond), 0, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(At(1*time.Second), 0, func() { got = append(got, 1) })
+	e.Schedule(At(3*time.Second), 0, func() { got = append(got, 3) })
+	e.RunUntil(At(2 * time.Second))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if e.Now() != At(2*time.Second) {
+		t.Fatalf("clock %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(At(time.Second), 0, func() {
+		e.After(500*time.Millisecond, 0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != At(1500*time.Millisecond) {
+		t.Fatalf("fired at %v, want 1.5s", at)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			e.After(time.Millisecond, 0, step)
+		}
+	}
+	e.Schedule(At(0), 0, step)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count %d, want 100", count)
+	}
+	if e.Now() != At(99*time.Millisecond) {
+		t.Fatalf("clock %v, want 99ms", e.Now())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// insertion order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, o := range offsets {
+			e.Schedule(At(time.Duration(o)*time.Microsecond), 0, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine is deterministic — two runs of the same program
+// produce identical event counts and final clocks.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, Time) {
+		e := New()
+		r := NewRand(seed)
+		var rec func()
+		n := 0
+		rec = func() {
+			n++
+			if n < 200 {
+				e.After(time.Duration(r.Intn(1000)+1)*time.Microsecond, r.Intn(3), rec)
+			}
+		}
+		e.Schedule(At(0), 0, rec)
+		e.Run()
+		return e.Steps(), e.Now()
+	}
+	f := func(seed uint64) bool {
+		s1, t1 := run(seed)
+		s2, t2 := run(seed)
+		return s1 == s2 && t1 == t2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := At(time.Second)
+	if a.Add(time.Second) != At(2*time.Second) {
+		t.Fatal("Add")
+	}
+	if a.Add(time.Second).Sub(a) != time.Second {
+		t.Fatal("Sub")
+	}
+	if a.Duration() != time.Second {
+		t.Fatal("Duration")
+	}
+	if a.String() != "1s" {
+		t.Fatalf("String %q", a.String())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandNormRoughlyCentred(t *testing.T) {
+	r := NewRand(1)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += r.NormFloat64()
+	}
+	mean := sum / n
+	if mean < -0.1 || mean > 0.1 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

@@ -1,0 +1,46 @@
+package engine
+
+// Rand is a small deterministic pseudo-random source (SplitMix64). The
+// simulator uses it for calibrated per-job overhead jitter; determinism for a
+// given seed is required so experiments are reproducible run to run.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal value using the sum of
+// twelve uniforms (Irwin–Hall). The tails are truncated at ±6, which is fine
+// for timing jitter.
+func (r *Rand) NormFloat64() float64 {
+	sum := 0.0
+	for i := 0; i < 12; i++ {
+		sum += r.Float64()
+	}
+	return sum - 6
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("engine: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

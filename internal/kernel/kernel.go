@@ -1,0 +1,383 @@
+// Package kernel is a deterministic discrete-event simulation of the Linux
+// facilities RT-Seed is built on (paper §IV): per-CPU SCHED_FIFO run queues
+// with 99 priority levels implemented as double circular linked lists,
+// fixed-priority preemptive dispatch, clock_nanosleep, condition variables,
+// one-shot POSIX timers with SIGALRM delivery and per-thread signal masks,
+// and CPU affinity.
+//
+// Simulated threads are ordinary Go functions: each runs on its own
+// goroutine, but exactly one simulated thread executes host code at a time,
+// hand-shaken with the engine through unbuffered channels, so simulations
+// are fully deterministic. Virtual time passes only inside kernel
+// primitives, priced by the machine cost model.
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/machine"
+)
+
+// Event priorities: at equal timestamps, releases fire before timer
+// expiries, which fire before service completions and dispatches.
+const (
+	prioRelease = iota
+	prioTimer
+	prioService
+	prioDispatch
+)
+
+// Kernel simulates a multiprocessor fixed-priority kernel on top of an
+// engine and a machine model.
+type Kernel struct {
+	eng  *engine.Engine
+	mach *machine.Machine
+	cpus []*cpu
+
+	nextTID int
+	threads []*Thread
+
+	tracer func(TraceEvent)
+}
+
+// New builds a kernel for every hardware thread of the machine.
+func New(eng *engine.Engine, mach *machine.Machine) *Kernel {
+	k := &Kernel{eng: eng, mach: mach}
+	n := mach.Topology().NumHWThreads()
+	k.cpus = make([]*cpu, n)
+	for i := range k.cpus {
+		k.cpus[i] = newCPU(machine.HWThread(i))
+	}
+	return k
+}
+
+// Engine returns the underlying discrete-event engine.
+func (k *Kernel) Engine() *engine.Engine { return k.eng }
+
+// Machine returns the underlying machine model.
+func (k *Kernel) Machine() *machine.Machine { return k.mach }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() engine.Time { return k.eng.Now() }
+
+// SetTracer installs a callback invoked on every thread state transition.
+// Pass nil to disable tracing.
+func (k *Kernel) SetTracer(fn func(TraceEvent)) { k.tracer = fn }
+
+func (k *Kernel) trace(t *Thread, kind TraceKind) {
+	if k.tracer != nil {
+		k.tracer(TraceEvent{Thread: t, Kind: kind, At: k.eng.Now()})
+	}
+}
+
+// TraceKind classifies a thread state transition.
+type TraceKind int
+
+// Trace kinds emitted by the kernel.
+const (
+	TraceReady TraceKind = iota + 1
+	TraceDispatched
+	TracePreempted
+	TraceBlocked
+	TraceSleeping
+	TraceExited
+)
+
+// String implements fmt.Stringer.
+func (tk TraceKind) String() string {
+	switch tk {
+	case TraceReady:
+		return "ready"
+	case TraceDispatched:
+		return "dispatched"
+	case TracePreempted:
+		return "preempted"
+	case TraceBlocked:
+		return "blocked"
+	case TraceSleeping:
+		return "sleeping"
+	case TraceExited:
+		return "exited"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one thread state transition.
+type TraceEvent struct {
+	Thread *Thread
+	Kind   TraceKind
+	At     engine.Time
+}
+
+// Run processes simulation events until none remain, then shuts down any
+// still-parked simulated threads so no goroutines leak.
+func (k *Kernel) Run() {
+	k.eng.Run()
+	k.Shutdown()
+}
+
+// RunUntil processes simulation events up to the deadline, then shuts down
+// remaining simulated threads.
+func (k *Kernel) RunUntil(deadline engine.Time) {
+	k.eng.RunUntil(deadline)
+	k.Shutdown()
+}
+
+// Shutdown force-terminates every simulated thread that has not exited.
+// Blocked or sleeping threads are unwound at their current kernel call. The
+// kernel must be quiescent (no thread mid-handoff), which is always the case
+// between engine events.
+func (k *Kernel) Shutdown() {
+	for _, t := range k.threads {
+		t.kill()
+	}
+	for _, c := range k.cpus {
+		if c.current != nil {
+			c.current = nil
+		}
+		k.mach.SetOccupant(c.id, machine.OccupantIdle)
+	}
+}
+
+// Threads returns all threads ever created, in creation order.
+func (k *Kernel) Threads() []*Thread {
+	out := make([]*Thread, len(k.threads))
+	copy(out, k.threads)
+	return out
+}
+
+func (k *Kernel) cpu(h machine.HWThread) *cpu {
+	if int(h) < 0 || int(h) >= len(k.cpus) {
+		panic(fmt.Sprintf("kernel: invalid hw thread %d", h))
+	}
+	return k.cpus[h]
+}
+
+// makeReady places t on its CPU's run queue and triggers dispatch or
+// preemption as needed. atFront enqueues at the head of t's priority level
+// (SCHED_FIFO semantics for preempted threads).
+func (k *Kernel) makeReady(t *Thread, atFront bool) {
+	c := k.cpu(t.cpuID)
+	t.state = StateReady
+	c.runq.enqueue(t, atFront)
+	k.trace(t, TraceReady)
+	k.considerCPU(c)
+}
+
+// considerCPU kicks dispatch or preemption on c after its run queue changed.
+func (k *Kernel) considerCPU(c *cpu) {
+	top := c.runq.topPriority()
+	if top < 0 {
+		return
+	}
+	switch {
+	case c.current == nil && !c.busy:
+		k.scheduleDispatch(c)
+	case c.current != nil && !c.busy && c.current.preemptible() && top > c.current.prio:
+		k.preempt(c)
+	}
+}
+
+// preempt stops the current (computing) thread of c and requeues it at the
+// front of its priority level, then dispatches the higher-priority thread.
+func (k *Kernel) preempt(c *cpu) {
+	t := c.current
+	if t == nil || t.state != StateComputing {
+		panic("kernel: preempt of non-computing thread")
+	}
+	// Account for the compute time consumed so far: wall time for CPU
+	// accounting, nominal work for the burst's remaining demand.
+	consumed := k.eng.Now().Sub(t.computeStart)
+	done := nominal(consumed, t.computeFactor)
+	t.computeRemaining -= done
+	if t.computeRemaining < 0 {
+		t.computeRemaining = 0
+	}
+	t.computeRan += done
+	k.accountRun(c, t, consumed)
+	k.eng.Cancel(t.computeDone)
+	t.computeDone = nil
+	k.setCurrent(c, nil)
+	t.state = StateReady
+	t.dispatchOp = machine.OpContextSwitch
+	k.trace(t, TracePreempted)
+	c.runq.enqueue(t, true)
+	k.scheduleDispatch(c)
+}
+
+// scheduleDispatch begins a context switch on c: it picks the
+// highest-priority ready thread, charges the switch cost, and then runs it.
+func (k *Kernel) scheduleDispatch(c *cpu) {
+	if c.busy || c.current != nil {
+		return
+	}
+	t := c.runq.pop()
+	if t == nil {
+		return
+	}
+	c.busy = true
+	cost := k.mach.Cost(t.dispatchOp, c.id)
+	k.eng.After(cost, prioDispatch, func() {
+		c.busy = false
+		// A higher-priority thread may have become ready during the
+		// switch window; honour it before running t.
+		if top := c.runq.topPriority(); top > t.prio {
+			t.dispatchOp = machine.OpContextSwitch
+			c.runq.enqueue(t, true)
+			k.scheduleDispatch(c)
+			return
+		}
+		k.setCurrent(c, t)
+		k.trace(t, TraceDispatched)
+		k.resumeOnCPU(t)
+	})
+}
+
+// resumeOnCPU continues a thread that has just been given its CPU: either it
+// resumes an in-progress compute burst, or it returns from the kernel call
+// it was parked in.
+func (k *Kernel) resumeOnCPU(t *Thread) {
+	if t.computeRemaining > 0 || t.inCompute {
+		k.startCompute(t)
+		return
+	}
+	k.resumeThread(t, t.pendingReply)
+}
+
+// setCurrent installs t (or nil) as the running thread of c and updates the
+// machine occupancy used for SMT contention pricing.
+func (k *Kernel) setCurrent(c *cpu, t *Thread) {
+	c.current = t
+	if t != nil {
+		t.state = StateRunning
+		k.mach.SetOccupant(c.id, machine.OccupantRT)
+	} else {
+		k.mach.SetOccupant(c.id, machine.OccupantIdle)
+	}
+}
+
+// resumeThread hands the CPU to t's host code and handles the next kernel
+// request it issues. Exactly one thread runs host code at a time.
+func (k *Kernel) resumeThread(t *Thread, reply replyMsg) {
+	t.reply = reply
+	t.run <- resumeMsg{}
+	<-t.yielded
+	k.handleRequest(t)
+}
+
+// startCompute begins or resumes a compute burst for the running thread t.
+func (k *Kernel) startCompute(t *Thread) {
+	c := k.cpu(t.cpuID)
+	if c.current != t {
+		panic("kernel: startCompute for non-current thread")
+	}
+	t.state = StateComputing
+	t.inCompute = true
+	// A pending SIGALRM is delivered as soon as the thread enters (or
+	// re-enters) an interruptible burst with the signal unmasked.
+	if t.interruptible && t.pendingAlarm && !t.alarmMasked {
+		k.interruptCompute(t)
+		return
+	}
+	t.computeStart = k.eng.Now()
+	// computeRemaining is nominal work. Uninterruptible bursts (mandatory
+	// and wind-up parts) run at WCET semantics — their durations already
+	// include contention (paper §II-A). Interruptible bursts (optional
+	// parts) share their core's issue slots: SMT contention stretches the
+	// wall time a unit of work takes, which is how the assignment policy
+	// affects the QoS achieved by the optional deadline.
+	t.computeFactor = 1
+	if t.interruptible {
+		t.computeFactor = k.mach.ThroughputFactor(t.cpuID)
+	}
+	wall := time.Duration(float64(t.computeRemaining) * t.computeFactor)
+	t.computeDone = k.eng.After(wall, prioService, func() {
+		t.computeDone = nil
+		t.computeRan += t.computeRemaining
+		k.accountRun(k.cpu(t.cpuID), t, wall)
+		t.computeRemaining = 0
+		t.inCompute = false
+		t.state = StateRunning
+		k.resumeThread(t, replyMsg{completed: true, ran: t.computeRan})
+	})
+}
+
+// interruptCompute terminates the running interruptible burst of t with a
+// SIGALRM: the handler-entry cost is charged, the signal is consumed, and —
+// as POSIX does — SIGALRM is masked for the duration of the handler. The
+// middleware's termination mechanism decides whether the mask is ever
+// restored (Table I).
+func (k *Kernel) interruptCompute(t *Thread) {
+	if t.computeDone != nil {
+		consumed := k.eng.Now().Sub(t.computeStart)
+		done := nominal(consumed, t.computeFactor)
+		t.computeRan += done
+		t.computeRemaining -= done
+		if t.computeRemaining < 0 {
+			t.computeRemaining = 0
+		}
+		k.accountRun(k.cpu(t.cpuID), t, consumed)
+		k.eng.Cancel(t.computeDone)
+		t.computeDone = nil
+	}
+	t.pendingAlarm = false
+	t.alarmMasked = true // handler entry blocks the signal
+	t.inCompute = false
+	t.state = StateRunning
+	cost := k.mach.Cost(machine.OpTimerInterrupt, t.cpuID)
+	k.service(t, cost, func() {
+		remaining := t.computeRemaining
+		t.computeRemaining = 0
+		k.resumeThread(t, replyMsg{completed: false, ran: t.computeRan, unran: remaining})
+	})
+}
+
+// service occupies t's CPU for cost (non-preemptible) and then runs then.
+func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
+	c := k.cpu(t.cpuID)
+	if c.current != t {
+		panic("kernel: service for non-current thread")
+	}
+	c.busy = true
+	k.eng.After(cost, prioService, func() {
+		c.busy = false
+		k.accountRun(c, nil, cost)
+		then()
+	})
+}
+
+// nominal converts wall-clock execution into accomplished work under the
+// SMT throughput factor sampled at the segment's start.
+func nominal(wall time.Duration, factor float64) time.Duration {
+	if factor <= 1 {
+		return wall
+	}
+	return time.Duration(float64(wall) / factor)
+}
+
+// handleYield implements sched_yield: the caller goes to the BACK of its
+// priority level and the CPU re-dispatches.
+func (k *Kernel) handleYield(t *Thread) {
+	c := k.cpu(t.cpuID)
+	k.setCurrent(c, nil)
+	t.state = StateReady
+	t.dispatchOp = machine.OpContextSwitch
+	t.pendingReply = replyMsg{completed: true}
+	c.runq.enqueue(t, false)
+	k.trace(t, TraceReady)
+	k.scheduleDispatch(c)
+}
+
+// releaseCPU detaches t from its CPU (it blocked, slept, or exited) and
+// dispatches the next ready thread, if any.
+func (k *Kernel) releaseCPU(t *Thread) {
+	c := k.cpu(t.cpuID)
+	if c.current != t {
+		panic("kernel: releaseCPU for non-current thread")
+	}
+	k.setCurrent(c, nil)
+	k.scheduleDispatch(c)
+}

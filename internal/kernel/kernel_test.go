@@ -1,0 +1,464 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/machine"
+)
+
+// testKernel builds a kernel on a small machine with zero-jitter costs so
+// timing assertions are exact.
+func testKernel(t *testing.T, load machine.Load) *Kernel {
+	t.Helper()
+	model := machine.DefaultCostModel()
+	model.JitterFrac = 0
+	topo := machine.Topology{Cores: 4, ThreadsPerCore: 2}
+	m, err := machine.New(topo, load, model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(engine.New(), m)
+}
+
+func TestThreadRunsBody(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	ran := false
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(time.Millisecond)
+		ran = true
+	})
+	th.Start()
+	k.Run()
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	if th.State() != StateExited {
+		t.Fatalf("state %v, want exited", th.State())
+	}
+}
+
+func TestComputeAdvancesVirtualTime(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var end engine.Time
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(10 * time.Millisecond)
+		end = c.Now()
+	})
+	th.Start()
+	k.Run()
+	// End time = dispatch cost + 10ms compute.
+	if end < engine.At(10*time.Millisecond) {
+		t.Fatalf("end %v, want >= 10ms", end)
+	}
+	if end > engine.At(11*time.Millisecond) {
+		t.Fatalf("end %v, dispatch overhead implausibly large", end)
+	}
+}
+
+func TestHigherPriorityPreempts(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var loEnd, hiEnd engine.Time
+	lo := k.MustNewThread(ThreadConfig{Name: "lo", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(10 * time.Millisecond)
+		loEnd = c.Now()
+	})
+	hi := k.MustNewThread(ThreadConfig{Name: "hi", Priority: 60, CPU: 0}, func(c *TCB) {
+		c.SleepUntil(engine.At(2 * time.Millisecond))
+		c.Compute(5 * time.Millisecond)
+		hiEnd = c.Now()
+	})
+	lo.Start()
+	hi.Start()
+	k.Run()
+	if hiEnd >= loEnd {
+		t.Fatalf("high-priority thread should finish first: hi=%v lo=%v", hiEnd, loEnd)
+	}
+	// lo must resume and complete its full 10ms of compute: total runtime
+	// >= 15ms of compute plus overheads.
+	if loEnd < engine.At(15*time.Millisecond) {
+		t.Fatalf("lo finished at %v; preemption lost compute time", loEnd)
+	}
+}
+
+func TestEqualPriorityFIFONoPreemption(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var order []string
+	a := k.MustNewThread(ThreadConfig{Name: "a", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(5 * time.Millisecond)
+		order = append(order, "a")
+	})
+	b := k.MustNewThread(ThreadConfig{Name: "b", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(time.Millisecond)
+		order = append(order, "b")
+	})
+	a.Start()
+	b.Start()
+	k.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("SCHED_FIFO order %v, want [a b]", order)
+	}
+}
+
+func TestThreadsOnDifferentCPUsRunConcurrently(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var aEnd, bEnd engine.Time
+	a := k.MustNewThread(ThreadConfig{Name: "a", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(10 * time.Millisecond)
+		aEnd = c.Now()
+	})
+	b := k.MustNewThread(ThreadConfig{Name: "b", Priority: 50, CPU: 1}, func(c *TCB) {
+		c.Compute(10 * time.Millisecond)
+		bEnd = c.Now()
+	})
+	a.Start()
+	b.Start()
+	k.Run()
+	if aEnd > engine.At(11*time.Millisecond) || bEnd > engine.At(11*time.Millisecond) {
+		t.Fatalf("parallel threads serialized: a=%v b=%v", aEnd, bEnd)
+	}
+}
+
+func TestSleepUntilWakesAtAbsoluteTime(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var woke engine.Time
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.SleepUntil(engine.At(100 * time.Millisecond))
+		woke = c.Now()
+	})
+	th.Start()
+	k.Run()
+	if woke < engine.At(100*time.Millisecond) {
+		t.Fatalf("woke at %v, before the absolute deadline", woke)
+	}
+	if woke > engine.At(101*time.Millisecond) {
+		t.Fatalf("woke at %v, dispatch latency implausible", woke)
+	}
+}
+
+func TestSleepUntilPastReturnsImmediately(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var first, second engine.Time
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(5 * time.Millisecond)
+		first = c.Now()
+		c.SleepUntil(engine.At(time.Millisecond)) // already past
+		second = c.Now()
+	})
+	th.Start()
+	k.Run()
+	if second != first {
+		t.Fatalf("past sleep should be immediate: %v -> %v", first, second)
+	}
+}
+
+func TestCondSignalWakesWaiter(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	cv := k.NewCondVar("cv")
+	var consumerRan engine.Time
+	consumer := k.MustNewThread(ThreadConfig{Name: "consumer", Priority: 60, CPU: 1}, func(c *TCB) {
+		c.CondWait(cv)
+		consumerRan = c.Now()
+	})
+	producer := k.MustNewThread(ThreadConfig{Name: "producer", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(10 * time.Millisecond)
+		c.CondSignal(cv)
+	})
+	consumer.Start()
+	producer.Start()
+	k.Run()
+	if consumerRan == 0 {
+		t.Fatal("consumer never woke")
+	}
+	if consumerRan < engine.At(10*time.Millisecond) {
+		t.Fatalf("consumer woke at %v, before the signal", consumerRan)
+	}
+}
+
+func TestCondSignalWithoutWaiterIsLost(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	cv := k.NewCondVar("cv")
+	woke := false
+	producer := k.MustNewThread(ThreadConfig{Name: "p", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.CondSignal(cv) // nobody waiting; pthread semantics lose it
+	})
+	consumer := k.MustNewThread(ThreadConfig{Name: "c", Priority: 50, CPU: 1}, func(c *TCB) {
+		c.SleepUntil(engine.At(time.Millisecond))
+		c.CondWait(cv)
+		woke = true
+	})
+	producer.Start()
+	consumer.Start()
+	k.Run()
+	if woke {
+		t.Fatal("signal before wait must be lost")
+	}
+	if consumer.State() != StateExited {
+		// The consumer is still blocked at shutdown, which is the expected
+		// outcome; Shutdown force-unwound it.
+		if consumer.State() != StateBlocked {
+			t.Fatalf("consumer state %v", consumer.State())
+		}
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	cv := k.NewCondVar("cv")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		cpu := machine.HWThread(i + 1)
+		th := k.MustNewThread(ThreadConfig{Name: "w", Priority: 60, CPU: cpu}, func(c *TCB) {
+			c.CondWait(cv)
+			woken++
+		})
+		th.Start()
+	}
+	p := k.MustNewThread(ThreadConfig{Name: "p", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(time.Millisecond)
+		c.CondBroadcast(cv)
+	})
+	p.Start()
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("broadcast woke %d, want 3", woken)
+	}
+}
+
+func TestTimerTerminatesInterruptibleCompute(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var completed bool
+	var ran time.Duration
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(5 * time.Millisecond))
+		completed, ran = c.ComputeInterruptible(time.Second)
+	})
+	th.Start()
+	k.Run()
+	if completed {
+		t.Fatal("burst should have been terminated")
+	}
+	if ran <= 0 || ran > 6*time.Millisecond {
+		t.Fatalf("ran %v, want ~5ms", ran)
+	}
+}
+
+func TestTimerDoesNotTerminateUninterruptibleCompute(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var end engine.Time
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(time.Millisecond))
+		c.Compute(10 * time.Millisecond)
+		end = c.Now()
+	})
+	th.Start()
+	k.Run()
+	if end < engine.At(10*time.Millisecond) {
+		t.Fatalf("uninterruptible burst cut short at %v", end)
+	}
+	if !th.pendingAlarm {
+		t.Fatal("alarm should be pending after an uninterruptible burst")
+	}
+}
+
+func TestTimerStopCancelsAndClearsPending(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var completed bool
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(time.Hour))
+		c.TimerStop()
+		completed, _ = c.ComputeInterruptible(5 * time.Millisecond)
+	})
+	th.Start()
+	k.Run()
+	if !completed {
+		t.Fatal("burst should complete after TimerStop")
+	}
+}
+
+// The POSIX handler-entry semantics: after a SIGALRM termination the signal
+// stays masked, and a second timer cannot terminate the next burst until the
+// mask is cleared. This is the mechanism behind Table I's try/catch row.
+func TestAlarmMaskedAfterTermination(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var second bool
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(2 * time.Millisecond))
+		first, _ := c.ComputeInterruptible(time.Second)
+		if first {
+			t.Error("first burst should be terminated")
+		}
+		if !c.AlarmMasked() {
+			t.Error("SIGALRM should be masked after handler entry")
+		}
+		// Arm again WITHOUT restoring the mask: the next burst must run to
+		// completion because the signal stays blocked.
+		c.TimerSet(c.Now().Add(2 * time.Millisecond))
+		second, _ = c.ComputeInterruptible(10 * time.Millisecond)
+	})
+	th.Start()
+	k.Run()
+	if !second {
+		t.Fatal("second burst should complete: SIGALRM was still masked")
+	}
+}
+
+// Restoring the mask (as siglongjmp does) re-enables termination.
+func TestAlarmUnmaskedTerminatesAgain(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var second bool
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(2 * time.Millisecond))
+		c.ComputeInterruptible(time.Second)
+		c.SetAlarmMask(false) // siglongjmp restores the mask
+		c.TimerSet(c.Now().Add(2 * time.Millisecond))
+		second, _ = c.ComputeInterruptible(10 * time.Second)
+	})
+	th.Start()
+	k.Run()
+	if second {
+		t.Fatal("second burst should have been terminated after unmasking")
+	}
+}
+
+// A pending alarm that arrives while masked is delivered as soon as an
+// interruptible burst starts with the mask cleared.
+func TestPendingAlarmDeliveredOnNextBurst(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var completed bool
+	var ran time.Duration
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.SetAlarmMask(true)
+		c.TimerSet(engine.At(time.Millisecond))
+		c.Compute(5 * time.Millisecond) // alarm fires during this, stays pending
+		c.SetAlarmMask(false)
+		completed, ran = c.ComputeInterruptible(time.Second)
+	})
+	th.Start()
+	k.Run()
+	if completed {
+		t.Fatal("pending alarm should terminate the burst immediately")
+	}
+	if ran != 0 {
+		t.Fatalf("burst ran %v, want 0 (terminated at entry)", ran)
+	}
+}
+
+// Preemption must preserve a terminated burst's consumed-time accounting.
+func TestPreemptedInterruptibleBurstAccounting(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var ran time.Duration
+	lo := k.MustNewThread(ThreadConfig{Name: "lo", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.TimerSet(engine.At(20 * time.Millisecond))
+		_, ran = c.ComputeInterruptible(time.Second)
+	})
+	hi := k.MustNewThread(ThreadConfig{Name: "hi", Priority: 60, CPU: 0}, func(c *TCB) {
+		c.SleepUntil(engine.At(5 * time.Millisecond))
+		c.Compute(5 * time.Millisecond)
+	})
+	lo.Start()
+	hi.Start()
+	k.Run()
+	// lo computed ~5ms before preemption, resumed ~10ms, terminated at
+	// ~20ms: it consumed roughly 15ms of CPU, never 20.
+	if ran < 12*time.Millisecond || ran > 18*time.Millisecond {
+		t.Fatalf("terminated burst consumed %v, want ~15ms", ran)
+	}
+}
+
+func TestTracerSeesLifecycle(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var kinds []TraceKind
+	k.SetTracer(func(ev TraceEvent) { kinds = append(kinds, ev.Kind) })
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		c.Compute(time.Millisecond)
+	})
+	th.Start()
+	k.Run()
+	want := []TraceKind{TraceReady, TraceDispatched, TraceExited}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("trace %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestNewThreadValidation(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	if _, err := k.NewThread(ThreadConfig{Priority: 0, CPU: 0}, func(*TCB) {}); err == nil {
+		t.Fatal("priority 0 accepted")
+	}
+	if _, err := k.NewThread(ThreadConfig{Priority: 100, CPU: 0}, func(*TCB) {}); err == nil {
+		t.Fatal("priority 100 accepted")
+	}
+	if _, err := k.NewThread(ThreadConfig{Priority: 50, CPU: 99}, func(*TCB) {}); err == nil {
+		t.Fatal("out-of-range cpu accepted")
+	}
+}
+
+func TestShutdownUnwindsBlockedThreads(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	cv := k.NewCondVar("never")
+	cleanedUp := false
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		defer func() { cleanedUp = true }()
+		c.CondWait(cv) // never signalled
+	})
+	th.Start()
+	k.Run() // Run calls Shutdown when the event queue drains
+	if th.State() != StateExited {
+		t.Fatalf("state %v, want exited after shutdown", th.State())
+	}
+	if cleanedUp {
+		// The kill unwinds via panic, so deferred cleanup DOES run; assert
+		// that it did.
+		return
+	}
+	t.Fatal("deferred cleanup did not run during shutdown unwind")
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() engine.Time {
+		k := testKernel(t, machine.CPUMemoryLoad)
+		cv := k.NewCondVar("cv")
+		for i := 0; i < 4; i++ {
+			cpu := machine.HWThread(i % 8)
+			prio := 40 + i
+			th := k.MustNewThread(ThreadConfig{Name: "w", Priority: prio, CPU: cpu}, func(c *TCB) {
+				c.Compute(time.Duration(prio) * time.Millisecond)
+				c.CondSignal(cv)
+			})
+			th.Start()
+		}
+		m := k.MustNewThread(ThreadConfig{Name: "m", Priority: 60, CPU: 0}, func(c *TCB) {
+			for i := 0; i < 4; i++ {
+				c.CondWait(cv)
+			}
+		})
+		m.Start()
+		k.Run()
+		return k.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic schedule: %v vs %v", a, b)
+	}
+}
+
+func TestChargeOpConsumesTime(t *testing.T) {
+	k := testKernel(t, machine.NoLoad)
+	var before, after engine.Time
+	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
+		before = c.Now()
+		c.ChargeOp(machine.OpSigLongjmp)
+		after = c.Now()
+	})
+	th.Start()
+	k.Run()
+	if after <= before {
+		t.Fatal("ChargeOp should consume virtual time")
+	}
+}

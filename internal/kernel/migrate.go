@@ -1,0 +1,46 @@
+package kernel
+
+import (
+	"fmt"
+
+	"rtseed/internal/machine"
+)
+
+// Migrate re-pins the calling thread to cpu (sched_setaffinity at runtime)
+// and reschedules it there. The thread pays the cross-core migration cost —
+// a context switch plus the transfer of its working set — which is exactly
+// the overhead the paper's §IV-B design discussion holds against global
+// scheduling. Migrating to the current CPU is a no-op.
+func (c *TCB) Migrate(cpu machine.HWThread) {
+	if cpu == c.t.cpuID {
+		return
+	}
+	c.t.syscall(request{kind: reqMigrate, remote: cpu})
+}
+
+func (k *Kernel) handleMigrate(t *Thread, req request) {
+	target := req.remote
+	if !k.mach.Topology().Contains(target) {
+		panic(fmt.Sprintf("kernel: migrate to invalid hw thread %d", target))
+	}
+	// Departure cost on the old CPU: deschedule plus cache-line flush
+	// toward the destination core.
+	cost := k.mach.RemoteCost(machine.OpContextSwitch, t.cpuID, target)
+	k.service(t, cost, func() {
+		old := t.cpuID
+		k.setCurrent(k.cpu(old), nil)
+		k.mach.UnbindRT(old)
+		t.cpuID = target
+		k.mach.BindRT(target)
+		t.migrations++
+		t.dispatchOp = machine.OpContextSwitch
+		t.pendingReply = replyMsg{completed: true}
+		k.makeReady(t, false)
+		// The old CPU is free; let it pick its next thread.
+		k.scheduleDispatch(k.cpu(old))
+	})
+}
+
+// Migrations returns how many times the thread has migrated between
+// hardware threads.
+func (t *Thread) Migrations() int { return t.migrations }

@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"rtseed/internal/list"
+	"rtseed/internal/machine"
+)
+
+// Mutex is a simulated blocking mutex with FIFO hand-off. RT-Seed's ending
+// path uses one per process to model the serialization real POSIX imposes
+// on simultaneous optional-part terminations: timer-expiry signal delivery
+// takes the process-wide sighand lock and endOptionalPart updates shared
+// task state, so np parts terminating at the same optional deadline drain
+// one at a time (the O(np) ending overhead of Fig. 13).
+type Mutex struct {
+	name    string
+	owner   *Thread
+	waiters *list.List[*Thread]
+	// inherit enables priority inheritance (see NewPIMutex).
+	inherit bool
+}
+
+// NewMutex returns an unlocked mutex. The name appears in diagnostics.
+func (k *Kernel) NewMutex(name string) *Mutex {
+	return &Mutex{name: name, waiters: list.New[*Thread]()}
+}
+
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Waiters returns the number of blocked contenders.
+func (m *Mutex) Waiters() int { return m.waiters.Len() }
+
+// MutexLock acquires m, blocking in FIFO order while it is held.
+func (c *TCB) MutexLock(m *Mutex) {
+	c.t.syscall(request{kind: reqMutexLock, mutex: m})
+}
+
+// MutexUnlock releases m and hands it to the longest-waiting contender, if
+// any. It panics if the caller does not hold m: unlocking someone else's
+// mutex is always a program bug.
+func (c *TCB) MutexUnlock(m *Mutex) {
+	c.t.syscall(request{kind: reqMutexUnlock, mutex: m})
+}
+
+func (k *Kernel) handleMutexLock(t *Thread, req request) {
+	m := req.mutex
+	if m.owner == nil {
+		m.owner = t
+		k.resumeThread(t, replyMsg{completed: true})
+		return
+	}
+	if m.owner == t {
+		panic("kernel: recursive mutex lock")
+	}
+	t.state = StateBlocked
+	t.cvNode = m.waiters.PushBack(t)
+	k.trace(t, TraceBlocked)
+	t.pendingReply = replyMsg{completed: true}
+	k.boostOwner(m)
+	k.releaseCPU(t)
+}
+
+func (k *Kernel) handleMutexUnlock(t *Thread, req request) {
+	m := req.mutex
+	if m.owner != t {
+		panic("kernel: unlock of mutex not held by caller")
+	}
+	if m.inherit {
+		k.restoreOwner(t)
+	}
+	if n := m.waiters.PopFront(); n != nil {
+		w := n.Value
+		w.cvNode = nil
+		m.owner = w
+		w.dispatchOp = machine.OpContextSwitch
+		k.makeReady(w, false)
+		k.boostOwner(m)
+	} else {
+		m.owner = nil
+	}
+	k.resumeThread(t, replyMsg{completed: true})
+}

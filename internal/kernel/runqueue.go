@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"time"
+
+	"rtseed/internal/list"
+	"rtseed/internal/machine"
+)
+
+// runQueue is one CPU's SCHED_FIFO ready queue: 99 FIFO levels, each a
+// double circular linked list, larger priority values first (paper Fig. 5).
+type runQueue struct {
+	levels [MaxPriority + 1]list.List[*Thread]
+	count  int
+}
+
+// enqueue adds t to its priority level, at the head when atFront is set
+// (SCHED_FIFO places preempted threads back at the head of their level).
+func (q *runQueue) enqueue(t *Thread, atFront bool) {
+	if t.queueNode != nil && t.queueNode.Attached() {
+		panic("kernel: thread already enqueued")
+	}
+	lvl := &q.levels[t.prio]
+	if atFront {
+		t.queueNode = lvl.PushFront(t)
+	} else {
+		t.queueNode = lvl.PushBack(t)
+	}
+	q.count++
+}
+
+// pop removes and returns the highest-priority thread, or nil when empty.
+func (q *runQueue) pop() *Thread {
+	for p := MaxPriority; p >= MinPriority; p-- {
+		if n := q.levels[p].PopFront(); n != nil {
+			q.count--
+			n.Value.queueNode = nil
+			return n.Value
+		}
+	}
+	return nil
+}
+
+// remove detaches t from the queue; no-op if it is not queued.
+func (q *runQueue) remove(t *Thread) {
+	if t.queueNode == nil || !t.queueNode.Attached() {
+		return
+	}
+	q.levels[t.prio].Remove(t.queueNode)
+	t.queueNode = nil
+	q.count--
+}
+
+// topPriority returns the highest priority with a ready thread, or -1.
+func (q *runQueue) topPriority() int {
+	if q.count == 0 {
+		return -1
+	}
+	for p := MaxPriority; p >= MinPriority; p-- {
+		if q.levels[p].Len() > 0 {
+			return p
+		}
+	}
+	return -1
+}
+
+// len returns the number of queued threads.
+func (q *runQueue) len() int { return q.count }
+
+// cpu is the per-hardware-thread scheduling state.
+type cpu struct {
+	id      machine.HWThread
+	runq    *runQueue
+	current *Thread
+	// busy marks a non-preemptible window: a context switch in progress or
+	// a kernel service executing on behalf of current.
+	busy bool
+	// busyTime accumulates time spent running compute or services.
+	busyTime time.Duration
+}
+
+func newCPU(id machine.HWThread) *cpu {
+	return &cpu{id: id, runq: &runQueue{}}
+}

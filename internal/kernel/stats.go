@@ -1,0 +1,37 @@
+package kernel
+
+import (
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/machine"
+)
+
+// CPUTime returns the total compute time the thread has consumed across all
+// of its bursts so far (preempted time excluded). Kernel service costs are
+// not attributed to the thread — like the paper's model, those overheads
+// live outside the task's execution time and are what the harness measures.
+func (t *Thread) CPUTime() time.Duration { return t.cpuConsumed }
+
+// Utilization returns the fraction of virtual time [from, now] that
+// hardware thread h spent running a real-time thread's compute or service.
+func (k *Kernel) Utilization(h machine.HWThread, from engine.Time) float64 {
+	span := k.eng.Now().Sub(from)
+	if span <= 0 {
+		return 0
+	}
+	busy := k.cpu(h).busyTime
+	f := float64(busy) / float64(span)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// accountRun credits d of busy time to c and compute time to t.
+func (k *Kernel) accountRun(c *cpu, t *Thread, d time.Duration) {
+	c.busyTime += d
+	if t != nil {
+		t.cpuConsumed += d
+	}
+}

@@ -1,0 +1,390 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/list"
+	"rtseed/internal/machine"
+)
+
+// Priority bounds of SCHED_FIFO: larger values denote higher priority.
+const (
+	MinPriority = 1
+	MaxPriority = 99
+)
+
+// State is a simulated thread's scheduling state.
+type State int
+
+// Thread states.
+const (
+	StateNew State = iota + 1
+	StateReady
+	StateRunning   // on CPU, inside a kernel service
+	StateComputing // on CPU, burning a compute burst
+	StateBlocked   // waiting on a condition variable
+	StateSleeping  // in clock_nanosleep
+	StateExited
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateComputing:
+		return "computing"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateExited:
+		return "exited"
+	default:
+		return "unknown"
+	}
+}
+
+// ThreadConfig configures a new simulated thread.
+type ThreadConfig struct {
+	// Name identifies the thread in traces.
+	Name string
+	// Priority is the SCHED_FIFO priority, in [MinPriority, MaxPriority].
+	Priority int
+	// CPU pins the thread to a hardware thread (sched_setaffinity with a
+	// single CPU, as RT-Seed does).
+	CPU machine.HWThread
+}
+
+// Thread is a simulated SCHED_FIFO thread.
+type Thread struct {
+	id    int
+	name  string
+	prio  int
+	cpuID machine.HWThread
+	k     *Kernel
+	state State
+
+	body func(*TCB)
+
+	// Goroutine handshake. The kernel sends on run to let the thread's
+	// host code execute; the thread sends on yielded after recording its
+	// next request. done is closed when the goroutine ends.
+	run     chan resumeMsg
+	yielded chan struct{}
+	done    chan struct{}
+	started bool
+	killed  bool
+	unbound bool
+
+	req   request
+	reply replyMsg
+	// pendingReply is delivered when the thread is next dispatched after
+	// being woken from a blocking call.
+	pendingReply replyMsg
+
+	// queueNode links the thread into a run-queue priority level.
+	queueNode *list.Node[*Thread]
+	// cvNode links the thread into a condition variable's waiter list.
+	cvNode *list.Node[*Thread]
+
+	// dispatchOp prices the next dispatch of this thread: OpDispatch for a
+	// wake-up from sleep (job release), OpContextSwitch otherwise.
+	dispatchOp machine.Op
+
+	// Compute burst bookkeeping. computeRemaining and computeRan are
+	// nominal work; computeFactor is the SMT throughput factor sampled at
+	// the current segment's start (interruptible bursts only), stretching
+	// the wall time a unit of work takes.
+	inCompute        bool
+	interruptible    bool
+	computeRemaining time.Duration
+	computeRan       time.Duration
+	computeFactor    float64
+	computeStart     engine.Time
+	computeDone      *engine.Event
+
+	// cpuConsumed accumulates compute time across bursts (see CPUTime).
+	cpuConsumed time.Duration
+	// migrations counts runtime re-pinnings (see Migrations).
+	migrations int
+	// base is the thread's base priority while boosted by priority
+	// inheritance (0 = not boosted).
+	base int
+
+	// SIGALRM state.
+	alarmMasked  bool
+	pendingAlarm bool
+	timer        *engine.Event
+}
+
+// ID returns the thread's creation-order identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Priority returns the thread's fixed priority.
+func (t *Thread) Priority() int { return t.prio }
+
+// CPU returns the hardware thread the thread is pinned to.
+func (t *Thread) CPU() machine.HWThread { return t.cpuID }
+
+// State returns the thread's current scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	return fmt.Sprintf("%s(prio=%d,cpu=%d)", t.name, t.prio, t.cpuID)
+}
+
+func (t *Thread) preemptible() bool { return t.state == StateComputing }
+
+// NewThread creates a simulated thread. The body runs when the thread is
+// started and first dispatched. NewThread returns an error for out-of-range
+// priorities or CPUs.
+func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
+	if cfg.Priority < MinPriority || cfg.Priority > MaxPriority {
+		return nil, fmt.Errorf("kernel: priority %d out of range [%d,%d]", cfg.Priority, MinPriority, MaxPriority)
+	}
+	if !k.mach.Topology().Contains(cfg.CPU) {
+		return nil, fmt.Errorf("kernel: cpu %d outside topology", cfg.CPU)
+	}
+	k.nextTID++
+	t := &Thread{
+		id:         k.nextTID,
+		name:       cfg.Name,
+		prio:       cfg.Priority,
+		cpuID:      cfg.CPU,
+		k:          k,
+		state:      StateNew,
+		body:       body,
+		run:        make(chan resumeMsg),
+		yielded:    make(chan struct{}),
+		done:       make(chan struct{}),
+		dispatchOp: machine.OpContextSwitch,
+	}
+	k.threads = append(k.threads, t)
+	k.mach.BindRT(t.cpuID)
+	return t, nil
+}
+
+// MustNewThread is NewThread for statically-valid configuration.
+func (k *Kernel) MustNewThread(cfg ThreadConfig, body func(*TCB)) *Thread {
+	t, err := k.NewThread(cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Start makes the thread ready at the current virtual time.
+func (t *Thread) Start() {
+	if t.started {
+		panic("kernel: thread started twice")
+	}
+	t.started = true
+	go t.main()
+	t.k.makeReady(t, false)
+}
+
+// killSentinel unwinds a simulated thread's goroutine during Shutdown.
+type killSentinel struct{}
+
+func (t *Thread) main() {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); ok {
+				t.state = StateExited
+				return
+			}
+			panic(r)
+		}
+	}()
+	// Wait for first dispatch.
+	msg := <-t.run
+	if msg.kill {
+		panic(killSentinel{})
+	}
+	t.body(&TCB{t: t})
+	// Normal exit: report it to the kernel, which is waiting in
+	// resumeThread.
+	t.req = request{kind: reqExit}
+	t.yielded <- struct{}{}
+}
+
+// kill force-terminates the goroutine of a thread parked in a kernel call.
+func (t *Thread) kill() {
+	if !t.started || t.state == StateExited {
+		t.state = StateExited
+		t.k.unbind(t)
+		return
+	}
+	t.killed = true
+	t.run <- resumeMsg{kill: true}
+	<-t.done
+	t.state = StateExited
+	t.k.unbind(t)
+}
+
+// unbind releases the thread's machine binding exactly once.
+func (k *Kernel) unbind(t *Thread) {
+	if t.unbound {
+		return
+	}
+	t.unbound = true
+	k.mach.UnbindRT(t.cpuID)
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+type replyMsg struct {
+	completed bool
+	ran       time.Duration
+	unran     time.Duration
+}
+
+type requestKind int
+
+const (
+	reqCompute requestKind = iota + 1
+	reqSleepUntil
+	reqCondWait
+	reqCondSignal
+	reqCondBroadcast
+	reqTimerSet
+	reqTimerStop
+	reqSetAlarmMask
+	reqChargeOp
+	reqChargeOpRemote
+	reqMutexLock
+	reqMutexUnlock
+	reqMigrate
+	reqYield
+	reqExit
+)
+
+type request struct {
+	kind          requestKind
+	dur           time.Duration
+	at            engine.Time
+	cv            *CondVar
+	interruptible bool
+	mask          bool
+	op            machine.Op
+	remote        machine.HWThread
+	mutex         *Mutex
+}
+
+// syscall parks the calling thread goroutine, hands control to the kernel,
+// and returns the kernel's reply when the thread is resumed.
+func (t *Thread) syscall(req request) replyMsg {
+	t.req = req
+	t.yielded <- struct{}{}
+	msg := <-t.run
+	if msg.kill {
+		panic(killSentinel{})
+	}
+	return t.reply
+}
+
+// handleRequest processes the kernel request recorded by the thread that
+// just yielded. Exactly one of the branches either resumes the thread
+// (directly or via a costed service) or blocks it and releases its CPU.
+func (k *Kernel) handleRequest(t *Thread) {
+	req := t.req
+	switch req.kind {
+	case reqCompute:
+		k.handleCompute(t, req)
+	case reqSleepUntil:
+		k.handleSleep(t, req)
+	case reqCondWait:
+		k.handleCondWait(t, req)
+	case reqCondSignal:
+		k.handleCondSignal(t, req)
+	case reqCondBroadcast:
+		k.handleCondBroadcast(t, req)
+	case reqTimerSet:
+		k.handleTimerSet(t, req)
+	case reqTimerStop:
+		k.handleTimerStop(t)
+	case reqSetAlarmMask:
+		k.handleSetAlarmMask(t, req)
+	case reqChargeOp:
+		cost := k.mach.Cost(req.op, t.cpuID)
+		k.service(t, cost, func() { k.resumeThread(t, replyMsg{completed: true}) })
+	case reqChargeOpRemote:
+		cost := k.mach.RemoteCost(req.op, t.cpuID, req.remote)
+		k.service(t, cost, func() { k.resumeThread(t, replyMsg{completed: true}) })
+	case reqMutexLock:
+		k.handleMutexLock(t, req)
+	case reqMutexUnlock:
+		k.handleMutexUnlock(t, req)
+	case reqMigrate:
+		k.handleMigrate(t, req)
+	case reqYield:
+		k.handleYield(t)
+	case reqExit:
+		k.handleExit(t)
+	default:
+		panic(fmt.Sprintf("kernel: unknown request %d", req.kind))
+	}
+}
+
+func (k *Kernel) handleCompute(t *Thread, req request) {
+	t.computeRemaining = req.dur
+	t.computeRan = 0
+	t.computeFactor = 1
+	t.interruptible = req.interruptible
+	c := k.cpu(t.cpuID)
+	// Yield to a higher-priority ready thread before starting the burst.
+	if top := c.runq.topPriority(); top > t.prio {
+		t.state = StateReady
+		t.inCompute = true
+		t.dispatchOp = machine.OpContextSwitch
+		k.trace(t, TracePreempted)
+		k.setCurrent(c, nil)
+		c.runq.enqueue(t, true)
+		k.scheduleDispatch(c)
+		return
+	}
+	k.startCompute(t)
+}
+
+func (k *Kernel) handleSleep(t *Thread, req request) {
+	if req.at <= k.eng.Now() {
+		k.resumeThread(t, replyMsg{completed: true})
+		return
+	}
+	t.state = StateSleeping
+	k.trace(t, TraceSleeping)
+	k.releaseCPU(t)
+	t.pendingReply = replyMsg{completed: true}
+	k.eng.Schedule(req.at, prioRelease, func() {
+		if t.state != StateSleeping {
+			return
+		}
+		t.dispatchOp = machine.OpDispatch
+		k.makeReady(t, false)
+	})
+}
+
+func (k *Kernel) handleExit(t *Thread) {
+	t.state = StateExited
+	k.trace(t, TraceExited)
+	if t.timer != nil {
+		k.eng.Cancel(t.timer)
+		t.timer = nil
+	}
+	k.unbind(t)
+	k.releaseCPU(t)
+}

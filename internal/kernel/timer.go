@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"rtseed/internal/machine"
+)
+
+// handleTimerSet arms the thread's one-shot SIGALRM timer at an absolute
+// virtual time (timer_settime with TIMER_ABSTIME), replacing any armed
+// timer.
+func (k *Kernel) handleTimerSet(t *Thread, req request) {
+	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
+	k.service(t, cost, func() {
+		if t.timer != nil {
+			k.eng.Cancel(t.timer)
+		}
+		at := req.at
+		if at < k.eng.Now() {
+			at = k.eng.Now()
+		}
+		t.timer = k.eng.Schedule(at, prioTimer, func() {
+			t.timer = nil
+			k.deliverAlarm(t)
+		})
+		k.resumeThread(t, replyMsg{completed: true})
+	})
+}
+
+// handleTimerStop disarms the timer (timer_settime with a zero value) and
+// clears any pending, undelivered SIGALRM from it.
+func (k *Kernel) handleTimerStop(t *Thread) {
+	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
+	k.service(t, cost, func() {
+		if t.timer != nil {
+			k.eng.Cancel(t.timer)
+			t.timer = nil
+		}
+		t.pendingAlarm = false
+		k.resumeThread(t, replyMsg{completed: true})
+	})
+}
+
+// deliverAlarm raises SIGALRM for t. If t is in an interruptible compute
+// burst with the signal unmasked, the burst is terminated immediately;
+// otherwise the signal stays pending and is delivered when the thread next
+// enters an interruptible burst with the signal unmasked — or never, if the
+// mask is never cleared (the try/catch pathology of Table I).
+func (k *Kernel) deliverAlarm(t *Thread) {
+	t.pendingAlarm = true
+	k.checkAlarm(t)
+}
+
+// checkAlarm delivers a pending SIGALRM if t is currently interruptible.
+func (k *Kernel) checkAlarm(t *Thread) {
+	if !t.pendingAlarm || t.alarmMasked || !t.interruptible {
+		return
+	}
+	if t.state != StateComputing {
+		// Preempted mid-burst or between bursts: delivery happens when the
+		// burst resumes (startCompute re-checks).
+		return
+	}
+	k.interruptCompute(t)
+}
+
+// handleSetAlarmMask blocks or unblocks SIGALRM for the thread
+// (pthread_sigmask). Unblocking with a signal pending delivers it at the
+// thread's next interruptible burst.
+func (k *Kernel) handleSetAlarmMask(t *Thread, req request) {
+	t.alarmMasked = req.mask
+	k.resumeThread(t, replyMsg{completed: true})
+}

@@ -1,0 +1,174 @@
+// Package list implements a double circular linked list with a sentinel
+// node. It mirrors the structure Linux uses for each SCHED_FIFO priority
+// level ("Each FIFO queue manages threads using a double circular linked
+// list", RT-Seed §IV-B / Fig. 5); the simulated kernel's run queues are
+// built on it.
+package list
+
+// Node is an element of a List. The zero value is a detached node.
+type Node[T any] struct {
+	prev, next *Node[T]
+	list       *List[T]
+
+	// Value is the payload carried by the node.
+	Value T
+}
+
+// Next returns the following list node, or nil at the back of the list.
+func (n *Node[T]) Next() *Node[T] {
+	if n.list == nil {
+		return nil
+	}
+	if nx := n.next; nx != &n.list.root {
+		return nx
+	}
+	return nil
+}
+
+// Prev returns the preceding list node, or nil at the front of the list.
+func (n *Node[T]) Prev() *Node[T] {
+	if n.list == nil {
+		return nil
+	}
+	if pv := n.prev; pv != &n.list.root {
+		return pv
+	}
+	return nil
+}
+
+// Attached reports whether the node is currently on a list.
+func (n *Node[T]) Attached() bool { return n.list != nil }
+
+// List is a double circular linked list. The zero value is an empty list
+// ready to use.
+type List[T any] struct {
+	root Node[T] // sentinel; root.next is front, root.prev is back
+	len  int
+}
+
+// New returns an initialized empty list.
+func New[T any]() *List[T] {
+	l := &List[T]{}
+	l.lazyInit()
+	return l
+}
+
+func (l *List[T]) lazyInit() {
+	if l.root.next == nil {
+		l.root.next = &l.root
+		l.root.prev = &l.root
+	}
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return l.len }
+
+// Front returns the first node, or nil if the list is empty.
+func (l *List[T]) Front() *Node[T] {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.next
+}
+
+// Back returns the last node, or nil if the list is empty.
+func (l *List[T]) Back() *Node[T] {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// PushBack appends v and returns its node.
+func (l *List[T]) PushBack(v T) *Node[T] {
+	n := &Node[T]{Value: v}
+	l.PushBackNode(n)
+	return n
+}
+
+// PushFront prepends v and returns its node.
+func (l *List[T]) PushFront(v T) *Node[T] {
+	n := &Node[T]{Value: v}
+	l.PushFrontNode(n)
+	return n
+}
+
+// PushBackNode appends an existing detached node. It panics if the node is
+// already attached to a list: silently relinking would corrupt both lists.
+func (l *List[T]) PushBackNode(n *Node[T]) {
+	l.lazyInit()
+	if n.list != nil {
+		panic("list: node already attached")
+	}
+	l.insert(n, l.root.prev)
+}
+
+// PushFrontNode prepends an existing detached node. It panics if the node is
+// already attached to a list.
+func (l *List[T]) PushFrontNode(n *Node[T]) {
+	l.lazyInit()
+	if n.list != nil {
+		panic("list: node already attached")
+	}
+	l.insert(n, &l.root)
+}
+
+// insert places n immediately after at.
+func (l *List[T]) insert(n, at *Node[T]) {
+	n.prev = at
+	n.next = at.next
+	n.prev.next = n
+	n.next.prev = n
+	n.list = l
+	l.len++
+}
+
+// Remove detaches n from the list. It panics if n belongs to a different
+// list; removing an already-detached node is a no-op.
+func (l *List[T]) Remove(n *Node[T]) {
+	if n.list == nil {
+		return
+	}
+	if n.list != l {
+		panic("list: node belongs to a different list")
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev = nil
+	n.next = nil
+	n.list = nil
+	l.len--
+}
+
+// PopFront removes and returns the first node, or nil if empty.
+func (l *List[T]) PopFront() *Node[T] {
+	n := l.Front()
+	if n != nil {
+		l.Remove(n)
+	}
+	return n
+}
+
+// PopBack removes and returns the last node, or nil if empty.
+func (l *List[T]) PopBack() *Node[T] {
+	n := l.Back()
+	if n != nil {
+		l.Remove(n)
+	}
+	return n
+}
+
+// Do calls fn for each value in front-to-back order. fn must not modify the
+// list during iteration.
+func (l *List[T]) Do(fn func(v T)) {
+	for n := l.Front(); n != nil; n = n.Next() {
+		fn(n.Value)
+	}
+}
+
+// Values returns a fresh slice of the values in front-to-back order.
+func (l *List[T]) Values() []T {
+	out := make([]T, 0, l.len)
+	l.Do(func(v T) { out = append(out, v) })
+	return out
+}

@@ -1,0 +1,205 @@
+package list
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var l List[int]
+	l.PushBack(1)
+	if l.Len() != 1 || l.Front().Value != 1 {
+		t.Fatal("zero-value list should accept PushBack")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	l := New[int]()
+	for i := 1; i <= 5; i++ {
+		l.PushBack(i)
+	}
+	for want := 1; want <= 5; want++ {
+		n := l.PopFront()
+		if n == nil || n.Value != want {
+			t.Fatalf("PopFront = %v, want %d", n, want)
+		}
+	}
+	if l.PopFront() != nil {
+		t.Fatal("PopFront on empty list should be nil")
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	l := New[string]()
+	l.PushBack("b")
+	l.PushFront("a")
+	l.PushBack("c")
+	got := l.Values()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	l := New[int]()
+	var nodes []*Node[int]
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, l.PushBack(i))
+	}
+	l.Remove(nodes[2])
+	if l.Len() != 4 {
+		t.Fatalf("len %d, want 4", l.Len())
+	}
+	got := l.Values()
+	want := []int{0, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values %v, want %v", got, want)
+		}
+	}
+	if nodes[2].Attached() {
+		t.Fatal("removed node should be detached")
+	}
+	l.Remove(nodes[2]) // removing a detached node is a no-op
+	if l.Len() != 4 {
+		t.Fatal("double remove changed the list")
+	}
+}
+
+func TestPopBack(t *testing.T) {
+	l := New[int]()
+	l.PushBack(1)
+	l.PushBack(2)
+	if n := l.PopBack(); n.Value != 2 {
+		t.Fatalf("PopBack = %d, want 2", n.Value)
+	}
+	if n := l.PopBack(); n.Value != 1 {
+		t.Fatalf("PopBack = %d, want 1", n.Value)
+	}
+	if l.PopBack() != nil {
+		t.Fatal("PopBack on empty should be nil")
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	l := New[int]()
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	if a.Next() != b || b.Prev() != a {
+		t.Fatal("Next/Prev linkage broken")
+	}
+	if a.Prev() != nil || b.Next() != nil {
+		t.Fatal("ends should return nil")
+	}
+	var detached Node[int]
+	if detached.Next() != nil || detached.Prev() != nil {
+		t.Fatal("detached node Next/Prev should be nil")
+	}
+}
+
+func TestReattachPanics(t *testing.T) {
+	l := New[int]()
+	n := l.PushBack(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double attach")
+		}
+	}()
+	l.PushBackNode(n)
+}
+
+func TestCrossListRemovePanics(t *testing.T) {
+	a, b := New[int](), New[int]()
+	n := a.PushBack(1)
+	b.PushBack(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing node from wrong list")
+		}
+	}()
+	b.Remove(n)
+}
+
+func TestNodeReuseAfterRemove(t *testing.T) {
+	l := New[int]()
+	n := l.PushBack(1)
+	l.Remove(n)
+	l.PushFrontNode(n)
+	if l.Len() != 1 || l.Front() != n {
+		t.Fatal("detached node should be reusable")
+	}
+}
+
+// Property: a sequence of pushes and pops behaves like a deque modelled by a
+// slice.
+func TestPropertyDequeEquivalence(t *testing.T) {
+	f := func(ops []int8) bool {
+		l := New[int]()
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				l.PushBack(next)
+				model = append(model, next)
+				next++
+			case 1:
+				l.PushFront(next)
+				model = append([]int{next}, model...)
+				next++
+			case 2:
+				n := l.PopFront()
+				if len(model) == 0 {
+					if n != nil {
+						return false
+					}
+				} else {
+					if n == nil || n.Value != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				n := l.PopBack()
+				if len(model) == 0 {
+					if n != nil {
+						return false
+					}
+				} else {
+					if n == nil || n.Value != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+		}
+		got := l.Values()
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	l := New[int]()
+	for i := 0; i < 3; i++ {
+		l.PushBack(i)
+	}
+	sum := 0
+	l.Do(func(v int) { sum += v })
+	if sum != 3 {
+		t.Fatalf("sum %d, want 3", sum)
+	}
+}

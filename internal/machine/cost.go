@@ -1,0 +1,387 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+// Op is a primitive operation priced by the cost model. Each op corresponds
+// to a kernel or middleware primitive the paper's overhead figures are built
+// from (§V-B and Fig. 9).
+type Op int
+
+const (
+	// OpDispatch is waking from clock_nanosleep plus job initialization;
+	// the dominant component of Δm (release → mandatory start).
+	OpDispatch Op = iota + 1
+	// OpContextSwitch is switching the running thread of a hardware thread;
+	// the dominant component of Δs (mandatory thread → optional thread).
+	OpContextSwitch
+	// OpCondSignal is one pthread_cond_signal call. Δb is np of these.
+	OpCondSignal
+	// OpCondWait is the bookkeeping of blocking on a condition variable.
+	OpCondWait
+	// OpTimerProgram is one timer_settime call (arming or disarming).
+	OpTimerProgram
+	// OpTimerInterrupt is SIGALRM delivery and handler entry.
+	OpTimerInterrupt
+	// OpSigSetjmp saves the stack context and signal mask.
+	OpSigSetjmp
+	// OpSigLongjmp restores the stack context and signal mask; part of
+	// ending a terminated optional part (Δe).
+	OpSigLongjmp
+	// OpRemoteWake is the cross-core cost of waking a thread on another
+	// core: IPI plus transfer of the shared task state's cache lines.
+	OpRemoteWake
+	// OpEndOptional is the serialized per-part cost of ending a parallel
+	// optional part: timer-expiry processing under the process-wide
+	// sighand lock plus the endOptionalPart bookkeeping on the shared
+	// task state. All np parts terminate at the same optional deadline
+	// and contend for it, which makes the ending overhead O(np)
+	// (paper §V-B, Fig. 13).
+	OpEndOptional
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpDispatch:
+		return "dispatch"
+	case OpContextSwitch:
+		return "context-switch"
+	case OpCondSignal:
+		return "cond-signal"
+	case OpCondWait:
+		return "cond-wait"
+	case OpTimerProgram:
+		return "timer-program"
+	case OpTimerInterrupt:
+		return "timer-interrupt"
+	case OpSigSetjmp:
+		return "sigsetjmp"
+	case OpSigLongjmp:
+		return "siglongjmp"
+	case OpRemoteWake:
+		return "remote-wake"
+	case OpEndOptional:
+		return "end-optional"
+	default:
+		return "unknown-op"
+	}
+}
+
+// resourceClass groups ops by the hardware resource they stress. The
+// background loads hit the classes differently: the CPU load's infinite loop
+// saturates the branch units (the paper's explanation for Fig. 12, where
+// pthread_cond_signal — "uses many if statements" — suffers more under CPU
+// load than under CPU-Memory load), while the CPU-Memory load pollutes the
+// caches and saturates memory bandwidth (Figs. 10 and 13).
+type resourceClass int
+
+const (
+	classCompute resourceClass = iota + 1
+	classBranch
+	classMemory
+)
+
+func classOf(op Op) resourceClass {
+	switch op {
+	case OpCondSignal, OpCondWait:
+		return classBranch
+	case OpDispatch, OpContextSwitch, OpSigSetjmp, OpSigLongjmp, OpRemoteWake, OpEndOptional:
+		return classMemory
+	default:
+		return classCompute
+	}
+}
+
+// CostModel holds the calibration constants of the machine model. Base costs
+// are calibrated to the order of magnitude of the paper's Xeon Phi numbers;
+// only orderings and curve shapes are asserted by the test suite.
+type CostModel struct {
+	// Base is the uncontended cost of each op.
+	Base map[Op]time.Duration
+	// ClassFactor scales an op's cost by load condition and resource class.
+	ClassFactor map[Load]map[resourceClass]float64
+	// SiblingWeightRT is the SMT contention added per busy sibling hardware
+	// thread running real-time work (optional parts are pure CPU loops, so
+	// this is small).
+	SiblingWeightRT float64
+	// SiblingWeightLoad is the SMT contention added per sibling occupied by
+	// a background load task, per load kind.
+	SiblingWeightLoad map[Load]float64
+	// TrafficLinear and TrafficQuartic shape the no-load interconnect
+	// traffic factor applied to context switches as a function of the
+	// fraction of hardware threads concurrently running real-time work.
+	// The quartic term produces the sharp rise the paper reports at 228
+	// parallel optional parts (Fig. 11a).
+	TrafficLinear, TrafficQuartic float64
+	// TrafficSaturated is the constant traffic factor under background
+	// load, where the interconnect is already saturated and the switch
+	// overhead no longer depends on np (Fig. 11b,c).
+	TrafficSaturated float64
+	// JitterFrac is the relative standard deviation of per-operation
+	// timing noise.
+	JitterFrac float64
+}
+
+// DefaultCostModel returns the calibrated model used by the experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Base: map[Op]time.Duration{
+			OpDispatch:       55 * time.Microsecond,
+			OpContextSwitch:  14 * time.Microsecond,
+			OpCondSignal:     20 * time.Microsecond,
+			OpCondWait:       6 * time.Microsecond,
+			OpTimerProgram:   4 * time.Microsecond,
+			OpTimerInterrupt: 30 * time.Microsecond,
+			OpSigSetjmp:      2 * time.Microsecond,
+			OpSigLongjmp:     60 * time.Microsecond,
+			OpRemoteWake:     12 * time.Microsecond,
+			OpEndOptional:    95 * time.Microsecond,
+		},
+		ClassFactor: map[Load]map[resourceClass]float64{
+			NoLoad:        {classCompute: 1.0, classBranch: 1.0, classMemory: 1.0},
+			CPULoad:       {classCompute: 1.55, classBranch: 1.80, classMemory: 1.25},
+			CPUMemoryLoad: {classCompute: 1.70, classBranch: 1.15, classMemory: 1.60},
+		},
+		SiblingWeightRT: 0.06,
+		SiblingWeightLoad: map[Load]float64{
+			NoLoad:        0,
+			CPULoad:       0.18,
+			CPUMemoryLoad: 0.28,
+		},
+		TrafficLinear:    1.8,
+		TrafficQuartic:   3.5,
+		TrafficSaturated: 2.3,
+		JitterFrac:       0.03,
+	}
+}
+
+// Validate reports whether the model has a base cost for every op.
+func (c CostModel) Validate() error {
+	ops := []Op{
+		OpDispatch, OpContextSwitch, OpCondSignal, OpCondWait,
+		OpTimerProgram, OpTimerInterrupt, OpSigSetjmp, OpSigLongjmp,
+		OpRemoteWake, OpEndOptional,
+	}
+	for _, op := range ops {
+		if c.Base[op] <= 0 {
+			return fmt.Errorf("machine: cost model has no base cost for %v", op)
+		}
+	}
+	for _, l := range Loads() {
+		if c.ClassFactor[l] == nil {
+			return fmt.Errorf("machine: cost model has no class factors for %v", l)
+		}
+	}
+	return nil
+}
+
+// Occupant describes what a hardware thread is currently running, for SMT
+// contention accounting.
+type Occupant int
+
+const (
+	// OccupantIdle means nothing runs there (under background load, the
+	// load task runs there instead and contends accordingly).
+	OccupantIdle Occupant = iota
+	// OccupantRT means a real-time thread runs there.
+	OccupantRT
+)
+
+// Machine combines a topology, a load condition, a cost model and occupancy
+// tracking. It prices primitives via Cost and RemoteCost; the simulated
+// kernel reports occupancy changes via SetOccupant.
+type Machine struct {
+	topo  Topology
+	load  Load
+	model CostModel
+	rng   *engine.Rand
+
+	occupants []Occupant
+	activeRT  int
+	// rtBound counts real-time threads pinned to each hardware thread.
+	// SMT contention uses the static binding: under background load, a
+	// load task time-shares (and keeps polluting the caches of) every
+	// hardware thread that has no real-time thread bound to it, whether or
+	// not the bound thread happens to be running at this instant.
+	rtBound []int
+}
+
+// New builds a machine. It returns an error if the topology or cost model is
+// invalid.
+func New(topo Topology, load Load, model CostModel, seed uint64) (*Machine, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if !load.Valid() {
+		return nil, fmt.Errorf("machine: invalid load %d", load)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		topo:      topo,
+		load:      load,
+		model:     model,
+		rng:       engine.NewRand(seed),
+		occupants: make([]Occupant, topo.NumHWThreads()),
+		rtBound:   make([]int, topo.NumHWThreads()),
+	}, nil
+}
+
+// MustNew is New for known-good static configuration; it panics on error.
+func MustNew(topo Topology, load Load, model CostModel, seed uint64) *Machine {
+	m, err := New(topo, load, model, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() Topology { return m.topo }
+
+// Load returns the background load condition.
+func (m *Machine) Load() Load { return m.load }
+
+// SetOccupant records what hardware thread h is running.
+func (m *Machine) SetOccupant(h HWThread, o Occupant) {
+	if !m.topo.Contains(h) {
+		panic(fmt.Sprintf("machine: SetOccupant on invalid hw thread %d", h))
+	}
+	prev := m.occupants[h]
+	if prev == o {
+		return
+	}
+	m.occupants[h] = o
+	switch {
+	case o == OccupantRT:
+		m.activeRT++
+	case prev == OccupantRT:
+		m.activeRT--
+	}
+}
+
+// Occupant returns what hardware thread h is running.
+func (m *Machine) Occupant(h HWThread) Occupant { return m.occupants[h] }
+
+// ActiveRT returns the number of hardware threads running real-time work.
+func (m *Machine) ActiveRT() int { return m.activeRT }
+
+// BindRT records that a real-time thread is pinned to h (sched_setaffinity
+// at creation). Binding displaces the background load from the hardware
+// thread for SMT-contention purposes: a background loop time-shares (and
+// keeps polluting the caches of) every hardware thread without a bound
+// real-time thread.
+func (m *Machine) BindRT(h HWThread) {
+	if !m.topo.Contains(h) {
+		panic(fmt.Sprintf("machine: BindRT on invalid hw thread %d", h))
+	}
+	m.rtBound[h]++
+}
+
+// UnbindRT undoes one BindRT (thread exit).
+func (m *Machine) UnbindRT(h HWThread) {
+	if !m.topo.Contains(h) || m.rtBound[h] <= 0 {
+		panic(fmt.Sprintf("machine: UnbindRT imbalance on hw thread %d", h))
+	}
+	m.rtBound[h]--
+}
+
+// BoundRT returns the number of real-time threads pinned to h.
+func (m *Machine) BoundRT(h HWThread) int { return m.rtBound[h] }
+
+// smtFactor prices the SMT sibling contention seen by hardware thread h.
+// Siblings with a real-time thread bound add a small weight (optional parts
+// are pure CPU-bound loops); siblings left to a background load task add
+// the load's weight. This is the mechanism behind Fig. 13(b,c): the
+// One-by-One policy leaves three background siblings per core next to each
+// optional part, while All-by-All displaces the background entirely from
+// the cores it uses.
+func (m *Machine) smtFactor(h HWThread) float64 {
+	f := 1.0
+	loadW := m.model.SiblingWeightLoad[m.load]
+	for _, s := range m.topo.SiblingsOf(h) {
+		if s == h {
+			continue
+		}
+		if m.rtBound[s] > 0 {
+			f += m.model.SiblingWeightRT
+		} else {
+			f += loadW
+		}
+	}
+	return f
+}
+
+// trafficFactor prices interconnect traffic for context switches. Under no
+// load it grows with the fraction of hardware threads concurrently running
+// real-time work, with a quartic term for the near-saturation rise at 228
+// parallel optional parts; under background load the interconnect is already
+// saturated and the factor is constant.
+func (m *Machine) trafficFactor() float64 {
+	if m.load != NoLoad {
+		return m.model.TrafficSaturated
+	}
+	r := float64(m.activeRT) / float64(m.topo.NumHWThreads())
+	return 1 + m.model.TrafficLinear*r + m.model.TrafficQuartic*r*r*r*r
+}
+
+// ThroughputFactor returns how much slower CPU-bound work progresses on
+// hardware thread h than on an uncontended core (>= 1): SMT siblings share
+// the core's issue slots, so a part next to three background hogs does less
+// nominal work per wall-clock second. The middleware uses it to discount
+// the progress optional parts achieve before their optional deadline —
+// wall-clock schedules are unaffected (the mandatory/wind-up WCETs already
+// include contention, per the paper's §II-A convention).
+func (m *Machine) ThroughputFactor(h HWThread) float64 {
+	return m.smtFactor(h)
+}
+
+// Cost prices op executed on hardware thread h under the current load and
+// occupancy, including deterministic jitter.
+func (m *Machine) Cost(op Op, h HWThread) time.Duration {
+	base := float64(m.model.Base[op])
+	f := m.model.ClassFactor[m.load][classOf(op)]
+	f *= m.smtFactor(h)
+	if op == OpContextSwitch {
+		f *= m.trafficFactor()
+	}
+	return m.jitter(time.Duration(base * f))
+}
+
+// RemoteCost prices op issued from hardware thread `from` toward `to`,
+// adding the cross-core transfer penalty when the two are on different
+// cores. The penalty scales with the same resource class as the op itself:
+// a remote cond_signal is dominated by the signal path's branch-heavy code,
+// not by bulk memory traffic (the paper's Fig. 12 explanation), while a
+// remote memory-class op pays polluted-cache transfer prices.
+func (m *Machine) RemoteCost(op Op, from, to HWThread) time.Duration {
+	c := m.Cost(op, from)
+	if m.topo.CoreOf(from) != m.topo.CoreOf(to) {
+		remote := float64(m.model.Base[OpRemoteWake])
+		remote *= m.model.ClassFactor[m.load][classOf(op)]
+		remote *= m.smtFactor(to)
+		c += m.jitter(time.Duration(remote))
+	}
+	return c
+}
+
+func (m *Machine) jitter(d time.Duration) time.Duration {
+	if m.model.JitterFrac <= 0 {
+		return d
+	}
+	n := m.rng.NormFloat64() * m.model.JitterFrac
+	if n < -0.5 {
+		n = -0.5
+	}
+	out := time.Duration(float64(d) * (1 + n))
+	if out < 0 {
+		out = 0
+	}
+	return out
+}

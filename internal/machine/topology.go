@@ -1,0 +1,77 @@
+// Package machine models the many-core hardware the paper evaluates on: the
+// processor topology (cores × SMT hardware threads), per-hardware-thread
+// timestamp counters (the rdtscp analogue), background load conditions, and
+// a contention cost model that prices kernel/middleware primitives.
+//
+// This package is the substitution for the paper's Intel Xeon Phi 3120A
+// (57 cores / 228 hardware threads); see DESIGN.md §2. The cost model is
+// mechanistic, not curve-fitted: each primitive has a base cost scaled by
+// (a) SMT sibling contention on its core, (b) a per-load × per-resource-class
+// factor (compute / branch / memory), and (c) a cross-core transfer penalty
+// for remote operations. The shapes of the paper's Figures 10-13 emerge from
+// those mechanisms.
+package machine
+
+import "fmt"
+
+// HWThread identifies a hardware thread (a Linux "CPU id"). Hardware threads
+// are numbered core-major: thread h lives on core h % Cores and is SMT
+// sibling index h / Cores. With 57 cores this makes HW thread IDs 0..56 the
+// first sibling of each core, matching the paper's use of "CPU IDs 1-227"
+// for isolcpus with the mandatory thread on hardware thread 0 of core 0.
+type HWThread int
+
+// Topology describes a symmetric many-core processor.
+type Topology struct {
+	// Cores is the number of physical cores.
+	Cores int
+	// ThreadsPerCore is the SMT width of each core.
+	ThreadsPerCore int
+}
+
+// XeonPhi3120A is the evaluation platform of the paper: 57 cores with 4
+// hardware threads each (228 hardware threads), 1.1 GHz, 512 KB L2 per core.
+func XeonPhi3120A() Topology {
+	return Topology{Cores: 57, ThreadsPerCore: 4}
+}
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	if t.Cores <= 0 {
+		return fmt.Errorf("machine: topology needs at least one core, got %d", t.Cores)
+	}
+	if t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("machine: topology needs at least one thread per core, got %d", t.ThreadsPerCore)
+	}
+	return nil
+}
+
+// NumHWThreads returns the total number of hardware threads.
+func (t Topology) NumHWThreads() int { return t.Cores * t.ThreadsPerCore }
+
+// CoreOf returns the physical core of hardware thread h.
+func (t Topology) CoreOf(h HWThread) int { return int(h) % t.Cores }
+
+// SiblingIndexOf returns h's SMT slot within its core (0-based).
+func (t Topology) SiblingIndexOf(h HWThread) int { return int(h) / t.Cores }
+
+// HWThreadOf returns the hardware thread at SMT slot sibling of core.
+func (t Topology) HWThreadOf(core, sibling int) HWThread {
+	return HWThread(sibling*t.Cores + core)
+}
+
+// SiblingsOf returns all hardware threads on the same core as h, including h
+// itself, in SMT slot order.
+func (t Topology) SiblingsOf(h HWThread) []HWThread {
+	core := t.CoreOf(h)
+	out := make([]HWThread, t.ThreadsPerCore)
+	for s := 0; s < t.ThreadsPerCore; s++ {
+		out[s] = t.HWThreadOf(core, s)
+	}
+	return out
+}
+
+// Contains reports whether h is a valid hardware thread of the topology.
+func (t Topology) Contains(h HWThread) bool {
+	return h >= 0 && int(h) < t.NumHWThreads()
+}

@@ -1,0 +1,99 @@
+package overhead
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/core"
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// TaskCountPoint is one point of the Δm-versus-task-count experiment.
+type TaskCountPoint struct {
+	Tasks int
+	// MeanDeltaM is the mean release→mandatory-start overhead across all
+	// tasks and jobs.
+	MeanDeltaM time.Duration
+	// WorstDeltaM is the worst single-job Δm (the lowest-priority task at
+	// a synchronous release).
+	WorstDeltaM time.Duration
+}
+
+// DeltaMVsTaskCount measures how the beginning-of-mandatory overhead grows
+// with the number of tasks sharing a processor. The paper states "the
+// overheads of all assignment policies depend on the number of tasks" but
+// evaluates only n = 1 (§V-B, Fig. 10); this extension experiment fills the
+// sweep in: with n tasks released synchronously on one processor, the
+// lowest-priority task's mandatory part waits behind n−1 higher-priority
+// mandatory parts.
+func DeltaMVsTaskCount(load machine.Load, counts []int, jobs int, seed uint64) ([]TaskCountPoint, error) {
+	if !load.Valid() {
+		return nil, fmt.Errorf("overhead: invalid load %d", load)
+	}
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	if jobs <= 0 {
+		jobs = 20
+	}
+	out := make([]TaskCountPoint, 0, len(counts))
+	for _, n := range counts {
+		if n < 1 || n > core.RTQMax-core.RTQMin+1 {
+			return nil, fmt.Errorf("overhead: task count %d out of range", n)
+		}
+		mach, err := machine.New(machine.XeonPhi3120A(), load, machine.DefaultCostModel(), seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		k := kernel.New(engine.New(), mach)
+		var sum, worst time.Duration
+		samples := 0
+		prios, err := core.RTQPriorities(n)
+		if err != nil {
+			return nil, err
+		}
+		procs := make([]*core.Process, 0, n)
+		for i := 0; i < n; i++ {
+			// Distinct RM periods; short mandatory parts so the set stays
+			// schedulable on one processor up to n=49.
+			period := time.Duration(100+10*i) * time.Millisecond
+			tk := task.Uniform(fmt.Sprintf("t%d", i), time.Millisecond, time.Millisecond, 0, 0, period)
+			p, err := core.NewProcess(k, core.Config{
+				Task:              tk,
+				MandatoryPriority: prios[i],
+				MandatoryCPU:      0,
+				OptionalCPUs:      nil,
+				OptionalDeadline:  period / 2,
+				Jobs:              jobs,
+				Probes: core.Probes{OnRelease: func(job int, release, start engine.Time) {
+					d := start.Sub(release)
+					sum += d
+					if d > worst {
+						worst = d
+					}
+					samples++
+				}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			procs = append(procs, p)
+		}
+		for _, p := range procs {
+			p.Start()
+		}
+		k.Run()
+		if samples == 0 {
+			return nil, fmt.Errorf("overhead: no samples for n=%d", n)
+		}
+		out = append(out, TaskCountPoint{
+			Tasks:       n,
+			MeanDeltaM:  sum / time.Duration(samples),
+			WorstDeltaM: worst,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+// Package overhead reproduces the paper's experimental evaluation (§V,
+// Figs. 9-13): it runs the parallel-extended imprecise task of §V-A on the
+// simulated Xeon Phi 3120A under the three background loads and the three
+// assignment policies, and measures the four overheads of Fig. 9 with the
+// per-hardware-thread timestamp counter:
+//
+//	Δm — release time → beginning of the mandatory part (Fig. 10)
+//	Δs — switching the mandatory thread to the optional thread (Fig. 11)
+//	Δb — signalling all parallel optional threads (Fig. 12)
+//	Δe — optional deadline → beginning of the wind-up part (Fig. 13)
+package overhead
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/core"
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// Kind identifies one of the four measured overheads.
+type Kind int
+
+const (
+	// DeltaM is the overhead of beginning the mandatory part.
+	DeltaM Kind = iota + 1
+	// DeltaS is the overhead of switching the mandatory thread to the
+	// optional thread.
+	DeltaS
+	// DeltaB is the overhead of beginning the parallel optional threads
+	// (the pthread_cond_signal loop).
+	DeltaB
+	// DeltaE is the overhead of ending the parallel optional threads.
+	DeltaE
+)
+
+// Kinds lists the four overheads in figure order (10, 11, 12, 13).
+func Kinds() []Kind { return []Kind{DeltaM, DeltaS, DeltaB, DeltaE} }
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DeltaM:
+		return "begin-mandatory"
+	case DeltaS:
+		return "switch-to-optional"
+	case DeltaB:
+		return "begin-optional"
+	case DeltaE:
+		return "end-optional"
+	default:
+		return "unknown-overhead"
+	}
+}
+
+// Figure returns the paper figure number the overhead is plotted in.
+func (k Kind) Figure() int {
+	switch k {
+	case DeltaM:
+		return 10
+	case DeltaS:
+		return 11
+	case DeltaB:
+		return 12
+	case DeltaE:
+		return 13
+	default:
+		return 0
+	}
+}
+
+// NumPartsSweep is the paper's np set (§V-A) on the 228-hardware-thread
+// Xeon Phi.
+func NumPartsSweep() []int { return []int{4, 8, 16, 32, 57, 114, 171, 228} }
+
+// Config configures one measurement run.
+type Config struct {
+	// Topology is the machine (defaults to the Xeon Phi 3120A).
+	Topology machine.Topology
+	// Load is the background load condition.
+	Load machine.Load
+	// Policy assigns the parallel optional parts to hardware threads.
+	Policy assign.Policy
+	// NumParts is np, the number of parallel optional parts.
+	NumParts int
+	// Jobs is the number of jobs measured (the paper uses 100).
+	Jobs int
+	// Period is T1 = D1 (default 1s, the OANDA tick interval).
+	Period time.Duration
+	// Mandatory is the actual mandatory compute (default 250ms).
+	Mandatory time.Duration
+	// WindupBudget is w1 (default 250ms). The optional deadline is
+	// OD = T − WindupBudget per the paper's Theorem 2 citation.
+	WindupBudget time.Duration
+	// WindupExec is the actual wind-up compute; the difference
+	// WindupBudget − WindupExec is the overhead allowance the paper folds
+	// into the WCET (§II-A). Default 150ms, leaving 100ms for Δe and Δm.
+	WindupExec time.Duration
+	// OptionalExec is each o_{1,k}; the default 1s always overruns the
+	// optional deadline so every part is terminated — the paper's
+	// worst-case overhead condition.
+	OptionalExec time.Duration
+	// Seed seeds the machine jitter.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Topology.Cores == 0 {
+		c.Topology = machine.XeonPhi3120A()
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 100
+	}
+	if c.Period == 0 {
+		c.Period = time.Second
+	}
+	if c.Mandatory == 0 {
+		c.Mandatory = 250 * time.Millisecond
+	}
+	if c.WindupBudget == 0 {
+		c.WindupBudget = 250 * time.Millisecond
+	}
+	if c.WindupExec == 0 {
+		c.WindupExec = 150 * time.Millisecond
+	}
+	if c.OptionalExec == 0 {
+		c.OptionalExec = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+}
+
+func (c *Config) validate() error {
+	if !c.Load.Valid() {
+		return fmt.Errorf("overhead: invalid load %d", c.Load)
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("overhead: invalid policy %d", c.Policy)
+	}
+	if c.NumParts <= 0 || c.NumParts > c.Topology.NumHWThreads() {
+		return fmt.Errorf("overhead: np=%d outside [1,%d]", c.NumParts, c.Topology.NumHWThreads())
+	}
+	if c.WindupExec > c.WindupBudget {
+		return fmt.Errorf("overhead: wind-up exec %v exceeds budget %v", c.WindupExec, c.WindupBudget)
+	}
+	return nil
+}
+
+// Measurement holds the per-job overhead samples of one run.
+type Measurement struct {
+	Config  Config
+	Samples map[Kind][]time.Duration
+}
+
+// Mean returns the mean of the samples for kind (0 if none).
+func (m *Measurement) Mean(kind Kind) time.Duration {
+	s := m.Samples[kind]
+	if len(s) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return sum / time.Duration(len(s))
+}
+
+// Max returns the maximum sample for kind.
+func (m *Measurement) Max(kind Kind) time.Duration {
+	var max time.Duration
+	for _, v := range m.Samples[kind] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Run executes one measurement: Jobs jobs of the single evaluation task τ1
+// with NumParts parallel optional parts assigned under Policy, on a machine
+// under Load. It returns the per-job samples of all four overheads.
+func Run(cfg Config) (*Measurement, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mach, err := machine.New(cfg.Topology, cfg.Load, machine.DefaultCostModel(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(engine.New(), mach)
+
+	tk := task.Uniform("tau1", cfg.Mandatory, cfg.WindupExec, cfg.OptionalExec, cfg.NumParts, cfg.Period)
+	cpus, err := assign.HWThreads(cfg.Topology, cfg.Policy, cfg.NumParts)
+	if err != nil {
+		return nil, err
+	}
+	od := cfg.Period - cfg.WindupBudget
+
+	meas := &Measurement{
+		Config:  cfg,
+		Samples: map[Kind][]time.Duration{},
+	}
+	// Per-job probe state: the switch overhead Δs spans two probes.
+	var blockAt engine.Time
+	probes := core.Probes{
+		OnRelease: func(job int, release, start engine.Time) {
+			meas.Samples[DeltaM] = append(meas.Samples[DeltaM], start.Sub(release))
+		},
+		OnSignalLoop: func(job int, start, end engine.Time) {
+			meas.Samples[DeltaB] = append(meas.Samples[DeltaB], end.Sub(start))
+		},
+		OnMandatoryBlock: func(job int, at engine.Time) {
+			blockAt = at
+		},
+		OnOptionalStart: func(job, part int, at engine.Time) {
+			// The first parallel optional thread runs on the mandatory
+			// thread's hardware thread; its start marks the switch.
+			if part == 0 {
+				meas.Samples[DeltaS] = append(meas.Samples[DeltaS], at.Sub(blockAt))
+			}
+		},
+		OnWindupStart: func(job int, odAbs, start engine.Time) {
+			meas.Samples[DeltaE] = append(meas.Samples[DeltaE], start.Sub(odAbs))
+		},
+	}
+
+	p, err := core.NewProcess(k, core.Config{
+		Task:              tk,
+		MandatoryPriority: 90, // the paper's running example priority
+		MandatoryCPU:      0,  // hardware thread 0 of core 0 (§V-A)
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  od,
+		Jobs:              cfg.Jobs,
+		Probes:            probes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	k.Run()
+
+	for _, kind := range Kinds() {
+		if got := len(meas.Samples[kind]); got != cfg.Jobs {
+			return nil, fmt.Errorf("overhead: %v has %d samples, want %d", kind, got, cfg.Jobs)
+		}
+	}
+	return meas, nil
+}

@@ -1,0 +1,99 @@
+package overhead
+
+import (
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/core"
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// QoSPoint quantifies the trade-off the paper's conclusion describes:
+// adding parallel optional parts buys more analysis work per job, but the
+// O(np) beginning/ending overheads delay the trading decision.
+type QoSPoint struct {
+	NumParts int
+	// UsefulWork is the mean optional execution time achieved per job,
+	// summed over all parts — the QoS the trader actually gets.
+	UsefulWork time.Duration
+	// DecisionLatency is the mean wind-up completion time relative to the
+	// release: how stale the trading decision is.
+	DecisionLatency time.Duration
+	// DeadlineMisses counts jobs that finished past the period.
+	DeadlineMisses int
+}
+
+// QoSSweep runs the evaluation task over a set of np values under one load
+// and policy, measuring useful optional work and decision latency per job.
+// Every part overruns (the paper's worst case), so useful work grows with
+// the parallelism while the O(np) overheads push the decision later — the
+// knee is the "appropriate number of parallel optional parts".
+func QoSSweep(load machine.Load, policy assign.Policy, nps []int, jobs int, seed uint64) ([]QoSPoint, error) {
+	if len(nps) == 0 {
+		nps = NumPartsSweep()
+	}
+	if jobs <= 0 {
+		jobs = 20
+	}
+	out := make([]QoSPoint, 0, len(nps))
+	for _, np := range nps {
+		cfg := Config{
+			Load:     load,
+			Policy:   policy,
+			NumParts: np,
+			Jobs:     jobs,
+			Seed:     seed,
+		}
+		cfg.fillDefaults()
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+		mach, err := machine.New(cfg.Topology, cfg.Load, machine.DefaultCostModel(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		k := kernel.New(engine.New(), mach)
+		tk := task.Uniform("tau1", cfg.Mandatory, cfg.WindupExec, cfg.OptionalExec, np, cfg.Period)
+		cpus, err := assign.HWThreads(cfg.Topology, cfg.Policy, np)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProcess(k, core.Config{
+			Task:              tk,
+			MandatoryPriority: 90,
+			MandatoryCPU:      0,
+			OptionalCPUs:      cpus,
+			OptionalDeadline:  cfg.Period - cfg.WindupBudget,
+			Jobs:              jobs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Start()
+		k.Run()
+
+		var useful, latency time.Duration
+		misses := 0
+		recs := p.Records()
+		for _, rec := range recs {
+			for _, part := range rec.Parts {
+				useful += part.Executed
+			}
+			latency += rec.Finish - rec.Release
+			if !rec.Met() {
+				misses++
+			}
+		}
+		n := time.Duration(len(recs))
+		out = append(out, QoSPoint{
+			NumParts:        np,
+			UsefulWork:      useful / n,
+			DecisionLatency: latency / n,
+			DeadlineMisses:  misses,
+		})
+	}
+	return out, nil
+}

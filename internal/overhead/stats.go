@@ -1,0 +1,121 @@
+package overhead
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"rtseed/internal/machine"
+)
+
+// Distribution summarizes the per-job samples of one overhead kind.
+type Distribution struct {
+	Kind   Kind
+	N      int
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	StdDev time.Duration
+}
+
+// Distribution computes the summary statistics of kind's samples.
+func (m *Measurement) Distribution(kind Kind) Distribution {
+	s := m.Samples[kind]
+	d := Distribution{Kind: kind, N: len(s)}
+	if len(s) == 0 {
+		return d
+	}
+	sorted := make([]time.Duration, len(s))
+	copy(sorted, s)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	d.Min = sorted[0]
+	d.Max = sorted[len(sorted)-1]
+	d.P50 = percentile(sorted, 0.50)
+	d.P95 = percentile(sorted, 0.95)
+	d.P99 = percentile(sorted, 0.99)
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	d.Mean = sum / time.Duration(len(sorted))
+	var varSum float64
+	for _, v := range sorted {
+		diff := float64(v - d.Mean)
+		varSum += diff * diff
+	}
+	d.StdDev = time.Duration(math.Sqrt(varSum / float64(len(sorted))))
+	return d
+}
+
+// percentile returns the p-quantile of a sorted slice using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	return fmt.Sprintf("%v{n=%d mean=%v p50=%v p95=%v p99=%v max=%v σ=%v}",
+		d.Kind, d.N, d.Mean, d.P50, d.P95, d.P99, d.Max, d.StdDev)
+}
+
+// WriteCSV emits figure data as CSV rows
+// (figure,kind,load,policy,np,mean_ns) suitable for external plotting.
+func WriteCSV(w io.Writer, figs []FigureData) error {
+	if _, err := fmt.Fprintln(w, "figure,kind,load,policy,np,mean_ns"); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d\n",
+					f.Kind.Figure(), f.Kind, loadSlug(f.Load), policySlug(s.Policy),
+					p.NumParts, p.Mean.Nanoseconds()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func loadSlug(l machine.Load) string {
+	switch l {
+	case machine.NoLoad:
+		return "none"
+	case machine.CPULoad:
+		return "cpu"
+	case machine.CPUMemoryLoad:
+		return "cpumem"
+	default:
+		return "unknown"
+	}
+}
+
+func policySlug(p interface{ String() string }) string {
+	switch p.String() {
+	case "One by One":
+		return "one"
+	case "Two by Two":
+		return "two"
+	case "All by All":
+		return "all"
+	default:
+		return "unknown"
+	}
+}

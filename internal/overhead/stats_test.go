@@ -1,0 +1,186 @@
+package overhead
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/machine"
+)
+
+func TestDistribution(t *testing.T) {
+	m := &Measurement{Samples: map[Kind][]time.Duration{
+		DeltaM: {10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+	}}
+	d := m.Distribution(DeltaM)
+	if d.N != 10 {
+		t.Fatalf("n %d", d.N)
+	}
+	if d.Mean != 55 {
+		t.Fatalf("mean %v, want 55", d.Mean)
+	}
+	if d.Min != 10 || d.Max != 100 {
+		t.Fatalf("min/max %v/%v", d.Min, d.Max)
+	}
+	if d.P50 != 50 {
+		t.Fatalf("p50 %v, want 50", d.P50)
+	}
+	if d.P95 < 90 || d.P95 > 100 {
+		t.Fatalf("p95 %v", d.P95)
+	}
+	if d.P99 != 100 {
+		t.Fatalf("p99 %v, want 100", d.P99)
+	}
+	if d.StdDev <= 0 {
+		t.Fatal("stddev should be positive")
+	}
+	if !strings.Contains(d.String(), "mean=") {
+		t.Fatal("String output missing fields")
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	m := &Measurement{Samples: map[Kind][]time.Duration{}}
+	d := m.Distribution(DeltaE)
+	if d.N != 0 || d.Mean != 0 || d.P99 != 0 {
+		t.Fatalf("empty distribution %+v", d)
+	}
+}
+
+func TestDistributionFromRealRun(t *testing.T) {
+	meas, err := Run(Config{Load: machine.NoLoad, Policy: assign.OneByOne, NumParts: 8, Jobs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds() {
+		d := meas.Distribution(k)
+		if d.N != 20 {
+			t.Fatalf("%v: n=%d", k, d.N)
+		}
+		if !(d.Min <= d.P50 && d.P50 <= d.P95 && d.P95 <= d.P99 && d.P99 <= d.Max) {
+			t.Fatalf("%v: percentiles out of order: %v", k, d)
+		}
+		if d.Mean < d.Min || d.Mean > d.Max {
+			t.Fatalf("%v: mean outside range: %v", k, d)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	figs, err := SweepLoad(SweepConfig{NumParts: []int{4}, Jobs: 2}, machine.CPULoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, figs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 4 kinds x 3 policies x 1 np
+	if len(lines) != 1+12 {
+		t.Fatalf("%d lines, want 13:\n%s", len(lines), out)
+	}
+	if lines[0] != "figure,kind,load,policy,np,mean_ns" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(out, "13,end-optional,cpu,one,4,") {
+		t.Fatalf("expected fig13 row, got:\n%s", out)
+	}
+}
+
+// The conclusion's trade-off: useful optional work grows with np while the
+// decision latency also grows (the O(np) ending overhead delays the
+// wind-up).
+func TestQoSSweepTradeoff(t *testing.T) {
+	points, err := QoSSweep(machine.CPUMemoryLoad, assign.OneByOne, []int{4, 57, 228}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Useful work scales with parallelism.
+	if !(points[0].UsefulWork < points[1].UsefulWork && points[1].UsefulWork < points[2].UsefulWork) {
+		t.Fatalf("useful work should grow with np: %+v", points)
+	}
+	// Decision latency grows with np (Δe is O(np)).
+	if !(points[0].DecisionLatency < points[2].DecisionLatency) {
+		t.Fatalf("decision latency should grow with np: %+v", points)
+	}
+	// The wind-up budget still absorbs the overhead: no misses.
+	for _, p := range points {
+		if p.DeadlineMisses != 0 {
+			t.Fatalf("np=%d missed %d deadlines", p.NumParts, p.DeadlineMisses)
+		}
+	}
+	// Under background load, adding parts *raises* per-part efficiency:
+	// every bound RT thread displaces a background hog from its SMT slot,
+	// so parts at np=228 run next to other optional parts instead of
+	// cache-polluting load loops.
+	eff4 := float64(points[0].UsefulWork) / 4
+	eff228 := float64(points[2].UsefulWork) / 228
+	if eff228 <= eff4 {
+		t.Fatalf("per-part efficiency should rise under load (background displacement): %v vs %v", eff4, eff228)
+	}
+
+	// Under no load the effect reverses: at np=4 parts run on otherwise
+	// idle cores at full speed, while at np=228 they share issue slots
+	// with three sibling parts and lose the overhead-shrunk window too.
+	clean, err := QoSSweep(machine.NoLoad, assign.OneByOne, []int{4, 228}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanEff4 := float64(clean[0].UsefulWork) / 4
+	cleanEff228 := float64(clean[1].UsefulWork) / 228
+	if cleanEff228 >= cleanEff4 {
+		t.Fatalf("per-part efficiency should fall without load: %v vs %v", cleanEff4, cleanEff228)
+	}
+}
+
+func TestQoSSweepDefaults(t *testing.T) {
+	points, err := QoSSweep(machine.NoLoad, assign.AllByAll, []int{4}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].UsefulWork <= 0 {
+		t.Fatalf("points %+v", points)
+	}
+}
+
+// The paper's claim that Δm "depends on the number of tasks", measured:
+// with more tasks on one processor, the worst-case beginning-of-mandatory
+// overhead grows (lower-priority tasks wait behind higher-priority
+// mandatory parts at synchronous releases).
+func TestDeltaMGrowsWithTaskCount(t *testing.T) {
+	points, err := DeltaMVsTaskCount(machine.NoLoad, []int{1, 4, 8}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	if !(points[0].WorstDeltaM < points[1].WorstDeltaM && points[1].WorstDeltaM < points[2].WorstDeltaM) {
+		t.Fatalf("worst Δm should grow with task count: %+v", points)
+	}
+	if points[0].MeanDeltaM <= 0 {
+		t.Fatal("n=1 Δm should be positive")
+	}
+	// With one task there is no blocking: worst is close to mean.
+	if points[0].WorstDeltaM > 3*points[0].MeanDeltaM {
+		t.Fatalf("n=1 worst/mean spread implausible: %+v", points[0])
+	}
+}
+
+func TestDeltaMVsTaskCountValidation(t *testing.T) {
+	if _, err := DeltaMVsTaskCount(machine.Load(0), nil, 5, 1); err == nil {
+		t.Fatal("invalid load accepted")
+	}
+	if _, err := DeltaMVsTaskCount(machine.NoLoad, []int{0}, 5, 1); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+	if _, err := DeltaMVsTaskCount(machine.NoLoad, []int{50}, 5, 1); err == nil {
+		t.Fatal("more tasks than RTQ levels accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package overhead
+
+import (
+	"time"
+
+	"rtseed/internal/assign"
+	"rtseed/internal/machine"
+)
+
+// Point is one plotted point: mean overhead at a number of parallel
+// optional parts.
+type Point struct {
+	NumParts int
+	Mean     time.Duration
+}
+
+// Series is one curve of a figure: one assignment policy swept over np.
+type Series struct {
+	Policy assign.Policy
+	Points []Point
+}
+
+// FigureData is one subfigure of the paper: a (overhead kind, load) pair
+// with one series per assignment policy.
+type FigureData struct {
+	Kind   Kind
+	Load   machine.Load
+	Series []Series
+}
+
+// SweepConfig parameterizes a full figure regeneration.
+type SweepConfig struct {
+	// Topology defaults to the Xeon Phi 3120A.
+	Topology machine.Topology
+	// NumParts defaults to the paper's sweep {4,...,228}.
+	NumParts []int
+	// Policies defaults to all three.
+	Policies []assign.Policy
+	// Jobs per measurement (default 100; reduce for quick runs).
+	Jobs int
+	// Seed for machine jitter.
+	Seed uint64
+}
+
+func (c *SweepConfig) fillDefaults() {
+	if c.Topology.Cores == 0 {
+		c.Topology = machine.XeonPhi3120A()
+	}
+	if len(c.NumParts) == 0 {
+		c.NumParts = NumPartsSweep()
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = assign.Policies()
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 100
+	}
+}
+
+// SweepLoad runs the full policy × np sweep under one load, returning every
+// figure's data for that load. All four overheads are measured in the same
+// runs, exactly as on the real testbed.
+func SweepLoad(cfg SweepConfig, load machine.Load) ([]FigureData, error) {
+	cfg.fillDefaults()
+	figures := make([]FigureData, 0, 4)
+	byKind := map[Kind]*FigureData{}
+	for _, kind := range Kinds() {
+		figures = append(figures, FigureData{Kind: kind, Load: load})
+		byKind[kind] = &figures[len(figures)-1]
+	}
+	for _, pol := range cfg.Policies {
+		series := map[Kind]*Series{}
+		for _, kind := range Kinds() {
+			fd := byKind[kind]
+			fd.Series = append(fd.Series, Series{Policy: pol})
+			series[kind] = &fd.Series[len(fd.Series)-1]
+		}
+		for _, np := range cfg.NumParts {
+			m, err := Run(Config{
+				Topology: cfg.Topology,
+				Load:     load,
+				Policy:   pol,
+				NumParts: np,
+				Jobs:     cfg.Jobs,
+				Seed:     cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range Kinds() {
+				s := series[kind]
+				s.Points = append(s.Points, Point{NumParts: np, Mean: m.Mean(kind)})
+			}
+		}
+	}
+	return figures, nil
+}
+
+// SweepAll regenerates every subfigure of Figs. 10-13: all four overheads
+// under all three loads.
+func SweepAll(cfg SweepConfig) ([]FigureData, error) {
+	var out []FigureData
+	for _, load := range machine.Loads() {
+		figs, err := SweepLoad(cfg, load)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, figs...)
+	}
+	return out, nil
+}
+
+// ByKindLoad finds the figure data for a (kind, load) pair, or nil.
+func ByKindLoad(figs []FigureData, kind Kind, load machine.Load) *FigureData {
+	for i := range figs {
+		if figs[i].Kind == kind && figs[i].Load == load {
+			return &figs[i]
+		}
+	}
+	return nil
+}
+
+// SeriesFor returns the series of a policy within a figure, or nil.
+func (f *FigureData) SeriesFor(p assign.Policy) *Series {
+	for i := range f.Series {
+		if f.Series[i].Policy == p {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanOver averages a series' points (the per-figure scalar used in shape
+// assertions).
+func (s *Series) MeanOver() time.Duration {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, p := range s.Points {
+		sum += p.Mean
+	}
+	return sum / time.Duration(len(s.Points))
+}

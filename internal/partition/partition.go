@@ -1,0 +1,149 @@
+// Package partition assigns tasks to processors offline for P-RMWP
+// (paper §IV-B: "partitioned scheduling assigns tasks to processors offline
+// and they do not migrate among processors online"). Each processor's
+// assignment must independently pass the uniprocessor RMWP admission test.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rtseed/internal/analysis"
+	"rtseed/internal/task"
+)
+
+// Heuristic is a bin-packing heuristic for partitioned assignment.
+type Heuristic int
+
+const (
+	// FirstFit places each task on the lowest-indexed processor that admits
+	// it.
+	FirstFit Heuristic = iota + 1
+	// BestFit places each task on the admitting processor with the highest
+	// current utilization (tightest fit).
+	BestFit
+	// WorstFit places each task on the admitting processor with the lowest
+	// current utilization (load balancing).
+	WorstFit
+)
+
+// String implements fmt.Stringer.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return "unknown-heuristic"
+	}
+}
+
+// ErrNoFit is wrapped by Partition's error when a task fits on no processor.
+var ErrNoFit = errors.New("partition: task fits on no processor")
+
+// Assignment maps each processor index to the tasks assigned to it.
+type Assignment struct {
+	// PerProcessor[p] lists the tasks of processor p, in assignment order.
+	PerProcessor [][]task.Task
+	// Processor maps task name to processor index.
+	Processor map[string]int
+}
+
+// Utilization returns processor p's assigned utilization.
+func (a *Assignment) Utilization(p int) float64 {
+	u := 0.0
+	for _, t := range a.PerProcessor[p] {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// UsedProcessors returns how many processors received at least one task.
+func (a *Assignment) UsedProcessors() int {
+	n := 0
+	for _, ts := range a.PerProcessor {
+		if len(ts) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Partition assigns the tasks of s to m processors using heuristic h,
+// considering tasks in decreasing-utilization order (the "-decreasing"
+// variants, which dominate their plain counterparts). Admission on each
+// processor is the uniprocessor RMWP test, so a successful partition is
+// RMWP-schedulable by construction.
+func Partition(s *task.Set, m int, h Heuristic) (*Assignment, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, task.ErrEmptyTaskSet
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("partition: need at least one processor, got %d", m)
+	}
+	ordered := make([]task.Task, s.Len())
+	copy(ordered, s.Tasks)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Utilization() > ordered[j].Utilization()
+	})
+
+	a := &Assignment{
+		PerProcessor: make([][]task.Task, m),
+		Processor:    make(map[string]int, s.Len()),
+	}
+	for _, t := range ordered {
+		p, err := place(a, t, m, h)
+		if err != nil {
+			return nil, fmt.Errorf("task %s (U=%.3f): %w", t.Name, t.Utilization(), err)
+		}
+		a.PerProcessor[p] = append(a.PerProcessor[p], t)
+		a.Processor[t.Name] = p
+	}
+	return a, nil
+}
+
+func place(a *Assignment, t task.Task, m int, h Heuristic) (int, error) {
+	best := -1
+	var bestU float64
+	for p := 0; p < m; p++ {
+		if !admits(a.PerProcessor[p], t) {
+			continue
+		}
+		u := a.Utilization(p)
+		switch h {
+		case FirstFit:
+			return p, nil
+		case BestFit:
+			if best < 0 || u > bestU {
+				best, bestU = p, u
+			}
+		case WorstFit:
+			if best < 0 || u < bestU {
+				best, bestU = p, u
+			}
+		default:
+			return 0, fmt.Errorf("partition: unknown heuristic %d", h)
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoFit
+	}
+	return best, nil
+}
+
+// admits reports whether processor contents plus t pass the RMWP test.
+func admits(existing []task.Task, t task.Task) bool {
+	all := make([]task.Task, 0, len(existing)+1)
+	all = append(all, existing...)
+	all = append(all, t)
+	set, err := task.NewSet(all...)
+	if err != nil {
+		return false
+	}
+	_, err = analysis.RMWP(set)
+	return err == nil
+}

@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rtseed/internal/analysis"
+	"rtseed/internal/task"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func set(us ...float64) *task.Set {
+	tasks := make([]task.Task, len(us))
+	for i, u := range us {
+		c := time.Duration(u * float64(100*time.Millisecond))
+		tasks[i] = task.Uniform("t"+string(rune('a'+i)), c/2, c-c/2, 0, 0, ms(100))
+	}
+	return task.MustNewSet(tasks...)
+}
+
+func TestFirstFitPacksLow(t *testing.T) {
+	a, err := Partition(set(0.3, 0.3, 0.3), 4, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three tasks of U=0.3 fit... first-fit packs the first processor as
+	// long as admission passes. RMWP on a uniprocessor admits these
+	// (utilization 0.9 > LL bound, so exact RTA decides).
+	if a.UsedProcessors() > 2 {
+		t.Fatalf("first-fit used %d processors, expected tight packing", a.UsedProcessors())
+	}
+	total := 0
+	for _, ts := range a.PerProcessor {
+		total += len(ts)
+	}
+	if total != 3 {
+		t.Fatalf("assigned %d tasks, want 3", total)
+	}
+}
+
+func TestWorstFitBalances(t *testing.T) {
+	a, err := Partition(set(0.3, 0.3, 0.3, 0.3), 4, WorstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedProcessors() != 4 {
+		t.Fatalf("worst-fit used %d processors, want 4 (one task each)", a.UsedProcessors())
+	}
+}
+
+func TestBestFitTightens(t *testing.T) {
+	a, err := Partition(set(0.5, 0.3, 0.1), 3, BestFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-fit favours the fullest admitting processor, so it should not
+	// spread over all three processors.
+	if a.UsedProcessors() == 3 {
+		t.Fatal("best-fit spread tasks over all processors")
+	}
+}
+
+func TestEachProcessorRMWPSchedulable(t *testing.T) {
+	s := set(0.6, 0.5, 0.4, 0.3, 0.2, 0.2)
+	a, err := Partition(s, 4, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, ts := range a.PerProcessor {
+		if len(ts) == 0 {
+			continue
+		}
+		sub := task.MustNewSet(ts...)
+		if _, err := analysis.RMWP(sub); err != nil {
+			t.Fatalf("processor %d assignment not RMWP-schedulable: %v", p, err)
+		}
+	}
+}
+
+func TestNoFit(t *testing.T) {
+	// Two tasks that each need a whole processor, one processor.
+	_, err := Partition(set(0.9, 0.9), 1, FirstFit)
+	if err == nil {
+		t.Fatal("impossible partition accepted")
+	}
+	if !errors.Is(err, ErrNoFit) {
+		t.Fatalf("error %v should wrap ErrNoFit", err)
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if _, err := Partition(nil, 2, FirstFit); err == nil {
+		t.Fatal("nil set accepted")
+	}
+	if _, err := Partition(set(0.1), 0, FirstFit); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+	if _, err := Partition(set(0.1), 1, Heuristic(0)); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	for _, h := range []Heuristic{FirstFit, BestFit, WorstFit} {
+		if h.String() == "unknown-heuristic" {
+			t.Fatalf("heuristic %d missing label", h)
+		}
+	}
+}
+
+// Property: every successful partition assigns every task exactly once, to a
+// valid processor, and every processor passes RMWP admission.
+func TestPropertyPartitionSound(t *testing.T) {
+	f := func(seed []uint8, hIdx uint8, mRaw uint8) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		if len(seed) > 12 {
+			seed = seed[:12]
+		}
+		m := int(mRaw%8) + 1
+		h := []Heuristic{FirstFit, BestFit, WorstFit}[int(hIdx)%3]
+		tasks := make([]task.Task, len(seed))
+		for i, b := range seed {
+			c := time.Duration(b%40+10) * time.Millisecond // U in [0.1, 0.5]
+			tasks[i] = task.Task{
+				Name:      "t" + string(rune('A'+i)),
+				Mandatory: c / 2,
+				Windup:    c - c/2,
+				Period:    ms(100),
+			}
+		}
+		s := task.MustNewSet(tasks...)
+		a, err := Partition(s, m, h)
+		if err != nil {
+			return true // infeasible inputs are out of scope
+		}
+		if len(a.Processor) != len(tasks) {
+			return false
+		}
+		count := 0
+		for p, ts := range a.PerProcessor {
+			count += len(ts)
+			if len(ts) == 0 {
+				continue
+			}
+			if _, err := analysis.RMWP(task.MustNewSet(ts...)); err != nil {
+				return false
+			}
+			for _, tk := range ts {
+				if a.Processor[tk.Name] != p {
+					return false
+				}
+			}
+		}
+		return count == len(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("a", 1)
+	tbl.AddRow("longer-name", 22)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header+sep+2 rows", len(lines))
+	}
+	// All lines align to the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(strings.TrimRight(l, " ")) > w+2 {
+			t.Fatalf("line %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "longer-name") {
+		t.Fatalf("row order wrong: %q", lines[3])
+	}
+}
+
+func TestTableFormatsDurationsAndFloats(t *testing.T) {
+	tbl := NewTable("d", "f")
+	tbl.AddRow(1500*time.Microsecond, 0.12345)
+	out := tbl.String()
+	if !strings.Contains(out, "1.50ms") {
+		t.Fatalf("duration not formatted: %q", out)
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{500 * time.Nanosecond, "0.5us"},
+		{42 * time.Microsecond, "42.0us"},
+		{1500 * time.Microsecond, "1.50ms"},
+		{999 * time.Millisecond, "999.00ms"},
+		{1200 * time.Millisecond, "1.200s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package rt
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// WakeLatency summarizes how late the Go runtime actually wakes a periodic
+// task relative to its absolute release times — the wall-clock counterpart
+// of the paper's Δm, and the empirical basis for this package's "soft
+// deadlines only" caveat (Go's timer granularity, scheduler, and GC all
+// contribute).
+type WakeLatency struct {
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// MeasureWakeLatency runs n periodic wakes at the given period and measures
+// each wake's lag behind its absolute release time. It honours ctx for
+// cancellation; the returned summary covers the wakes that ran.
+func MeasureWakeLatency(ctx context.Context, n int, period time.Duration) (WakeLatency, error) {
+	if n <= 0 || period <= 0 {
+		n = 0
+	}
+	start := time.Now()
+	lags := make([]time.Duration, 0, n)
+	for i := 1; i <= n; i++ {
+		release := start.Add(time.Duration(i) * period)
+		if err := sleepUntil(ctx, release); err != nil {
+			return summarize(lags), err
+		}
+		lag := time.Since(release)
+		if lag < 0 {
+			lag = 0
+		}
+		lags = append(lags, lag)
+	}
+	return summarize(lags), nil
+}
+
+func summarize(lags []time.Duration) WakeLatency {
+	out := WakeLatency{N: len(lags)}
+	if len(lags) == 0 {
+		return out
+	}
+	sorted := make([]time.Duration, len(lags))
+	copy(sorted, lags)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	out.Mean = sum / time.Duration(len(sorted))
+	out.P50 = sorted[len(sorted)/2]
+	idx99 := len(sorted) * 99 / 100
+	if idx99 >= len(sorted) {
+		idx99 = len(sorted) - 1
+	}
+	out.P99 = sorted[idx99]
+	out.Max = sorted[len(sorted)-1]
+	return out
+}

@@ -1,0 +1,194 @@
+// Package rt runs parallel-extended imprecise tasks in wall-clock time on
+// the Go runtime. It mirrors the RT-Seed protocol — periodic release,
+// mandatory part, parallel optional parts terminated at an optional
+// deadline, wind-up part — with Go-native mechanisms: goroutines instead of
+// SCHED_FIFO threads and context cancellation instead of
+// sigsetjmp/siglongjmp.
+//
+// Fidelity caveats (the reason the paper's evaluation runs on the
+// simulator, see DESIGN.md): the Go scheduler provides no fixed priorities,
+// the garbage collector can preempt at unfortunate moments, and optional
+// parts terminate cooperatively at their next context check rather than at
+// any instruction. In the paper's taxonomy (Table I) this runtime is a
+// "periodic check" terminator: it cannot cut a part at any time, but it
+// needs no signal-mask handling. Treat its deadlines as soft.
+package rt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OptionalFunc is one parallel optional part: an anytime computation that
+// must observe ctx and return promptly after cancellation, reporting the
+// progress it achieved in [0, 1].
+type OptionalFunc func(ctx context.Context) float64
+
+// Config configures a wall-clock parallel-extended imprecise task.
+type Config struct {
+	// Name identifies the task.
+	Name string
+	// Period is T (= D).
+	Period time.Duration
+	// OptionalDeadline is the relative OD; optional parts are cancelled
+	// at release + OptionalDeadline.
+	OptionalDeadline time.Duration
+	// Jobs is how many jobs to run.
+	Jobs int
+	// Mandatory runs first in each job (e.g. ingest a tick).
+	Mandatory func(job int)
+	// Optional holds the parallel optional parts.
+	Optional []OptionalFunc
+	// Windup runs last, with the per-part progress (discarded parts
+	// report 0).
+	Windup func(job int, progress []float64)
+}
+
+func (c *Config) validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("rt: period must be positive, got %v", c.Period)
+	}
+	if c.OptionalDeadline <= 0 || c.OptionalDeadline > c.Period {
+		return fmt.Errorf("rt: optional deadline %v outside (0, %v]", c.OptionalDeadline, c.Period)
+	}
+	if c.Jobs <= 0 {
+		return fmt.Errorf("rt: jobs must be positive, got %d", c.Jobs)
+	}
+	return nil
+}
+
+// JobReport records one job's wall-clock execution.
+type JobReport struct {
+	Job int
+	// Release, WindupStart and Finish are offsets from the runner start.
+	Release     time.Duration
+	WindupStart time.Duration
+	Finish      time.Duration
+	// Progress holds each optional part's achieved progress.
+	Progress []float64
+	// Met reports whether the job finished within its period.
+	Met bool
+}
+
+// Runner executes a Config.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates the config and returns a runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Run executes the configured jobs, blocking until they finish or ctx is
+// cancelled. It returns the reports of the completed jobs (all of them
+// unless cancelled early).
+func (r *Runner) Run(ctx context.Context) ([]JobReport, error) {
+	start := time.Now()
+	reports := make([]JobReport, 0, r.cfg.Jobs)
+	np := len(r.cfg.Optional)
+	for job := 0; job < r.cfg.Jobs; job++ {
+		release := time.Duration(job) * r.cfg.Period
+		if err := sleepUntil(ctx, start.Add(release)); err != nil {
+			return reports, err
+		}
+		if r.cfg.Mandatory != nil {
+			r.cfg.Mandatory(job)
+		}
+		progress := make([]float64, np)
+		odAbs := start.Add(release + r.cfg.OptionalDeadline)
+		if np > 0 && time.Now().Before(odAbs) {
+			// Run the parallel optional parts, cancelled at the optional
+			// deadline. Parts are terminated cooperatively: each must poll
+			// its context.
+			optCtx, cancel := context.WithDeadline(ctx, odAbs)
+			var wg sync.WaitGroup
+			for k := 0; k < np; k++ {
+				k := k
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					progress[k] = clamp01(r.cfg.Optional[k](optCtx))
+				}()
+			}
+			wg.Wait()
+			cancel()
+		}
+		// No time before the optional deadline: the parts are discarded
+		// (progress stays 0), and the wind-up runs immediately.
+		windupStart := time.Since(start)
+		if r.cfg.Windup != nil {
+			r.cfg.Windup(job, progress)
+		}
+		finish := time.Since(start)
+		reports = append(reports, JobReport{
+			Job:         job,
+			Release:     release,
+			WindupStart: windupStart,
+			Finish:      finish,
+			Progress:    progress,
+			Met:         finish <= release+r.cfg.Period,
+		})
+	}
+	return reports, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// sleepUntil sleeps until the absolute instant at, honouring cancellation.
+func sleepUntil(ctx context.Context, at time.Time) error {
+	d := time.Until(at)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SpinOptional builds an OptionalFunc that performs `steps` fixed-size
+// chunks of CPU-bound work, checking for termination between chunks, and
+// reports the fraction completed — a ready-made anytime optional part for
+// examples and tests. The work function receives the chunk index.
+func SpinOptional(steps int, chunk time.Duration, work func(step int)) OptionalFunc {
+	return func(ctx context.Context) float64 {
+		for i := 0; i < steps; i++ {
+			select {
+			case <-ctx.Done():
+				return float64(i) / float64(steps)
+			default:
+			}
+			spinFor(chunk)
+			if work != nil {
+				work(i)
+			}
+		}
+		return 1
+	}
+}
+
+// spinFor busy-loops for roughly d — optional parts in the paper's model
+// are pure CPU-bound loops that reserve no resources (§IV-D).
+func spinFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

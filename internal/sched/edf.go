@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rtseed/internal/task"
+)
+
+// EDFResult summarizes the dynamic-priority baseline: EDF over mandatory
+// and wind-up parts with the optional window computed ONLINE at each
+// mandatory completion. The paper's §I motivation for semi-fixed-priority
+// scheduling is precisely that this online calculation is what makes
+// dynamic-priority imprecise scheduling "difficult on multi-/many-core
+// processors"; OnlineCalcs and OnlineWork quantify the cost RMWP's offline
+// optional deadline removes.
+type EDFResult struct {
+	Jobs           int
+	DeadlineMisses int
+	// OnlineCalcs counts the per-job online slack computations.
+	OnlineCalcs int
+	// OnlineWork sums the active-job-set sizes scanned by those
+	// computations: the O(n)-per-job work RMWP does not pay at runtime.
+	OnlineWork int
+	// MeanOptionalWindow is the average optional execution window granted.
+	MeanOptionalWindow time.Duration
+}
+
+// edfJob is one job in the quantum-driven EDF simulator.
+type edfJob struct {
+	taskIdx   int
+	release   time.Duration
+	deadline  time.Duration
+	remaining time.Duration
+	phase     int // 0 mandatory, 1 optional window, 2 wind-up, 3 done
+	windup    time.Duration
+	windupAt  time.Duration // computed online at mandatory completion
+}
+
+// SimulateEDFWP runs the uniprocessor dynamic-priority baseline on the task
+// set: mandatory and wind-up parts are scheduled EDF; when a job's
+// mandatory part completes, the scheduler computes — online — the latest
+// wind-up start that still leaves room for every other active job's
+// remaining demand with an earlier-or-equal deadline, and lets the optional
+// part use the slack until then.
+func SimulateEDFWP(s *task.Set, horizon, quantum time.Duration) (EDFResult, error) {
+	if s == nil || s.Len() == 0 {
+		return EDFResult{}, task.ErrEmptyTaskSet
+	}
+	if horizon <= 0 || quantum <= 0 {
+		return EDFResult{}, fmt.Errorf("sched: invalid EDF parameters horizon=%v quantum=%v", horizon, quantum)
+	}
+	ordered := s.SortedByRM()
+	var res EDFResult
+	var windowSum time.Duration
+	var active []*edfJob
+	for now := time.Duration(0); now < horizon; now += quantum {
+		for i, t := range ordered {
+			if now%t.Period == 0 {
+				res.Jobs++
+				active = append(active, &edfJob{
+					taskIdx:   i,
+					release:   now,
+					deadline:  now + t.Deadline(),
+					remaining: t.Mandatory,
+					windup:    t.Windup,
+				})
+			}
+		}
+		// Jobs whose online wind-up start has arrived enter the wind-up.
+		for _, j := range active {
+			if j.phase == 1 && now >= j.windupAt {
+				j.phase = 2
+				j.remaining = j.windup
+			}
+		}
+		// EDF pick among runnable phases (mandatory and wind-up).
+		runnable := make([]*edfJob, 0, len(active))
+		for _, j := range active {
+			if (j.phase == 0 || j.phase == 2) && j.remaining > 0 {
+				runnable = append(runnable, j)
+			}
+		}
+		if len(runnable) > 0 {
+			sort.SliceStable(runnable, func(a, b int) bool {
+				return runnable[a].deadline < runnable[b].deadline
+			})
+			j := runnable[0]
+			j.remaining -= quantum
+			if j.remaining <= 0 {
+				j.remaining = 0
+				switch j.phase {
+				case 0:
+					// Mandatory done: compute the optional window ONLINE.
+					j.windupAt = onlineWindupStart(j, active, now+quantum, &res)
+					if w := j.windupAt - (now + quantum); w > 0 {
+						windowSum += w
+					}
+					j.phase = 1
+				case 2:
+					j.phase = 3
+					if now+quantum > j.deadline {
+						res.DeadlineMisses++
+					}
+				}
+			}
+		}
+		// Drop finished jobs.
+		live := active[:0]
+		for _, j := range active {
+			if j.phase != 3 {
+				live = append(live, j)
+			}
+		}
+		active = live
+	}
+	done := res.OnlineCalcs
+	if done > 0 {
+		res.MeanOptionalWindow = windowSum / time.Duration(done)
+	}
+	return res, nil
+}
+
+// onlineWindupStart computes, at time now, the latest wind-up start for j
+// that leaves room for j's wind-up plus every other active job's remaining
+// demand with an earlier-or-equal deadline — the per-job online calculation
+// semi-fixed-priority scheduling replaces with the offline OD.
+func onlineWindupStart(j *edfJob, active []*edfJob, now time.Duration, res *EDFResult) time.Duration {
+	res.OnlineCalcs++
+	reserve := j.windup
+	for _, other := range active {
+		res.OnlineWork++
+		if other == j || other.phase == 3 {
+			continue
+		}
+		if other.deadline <= j.deadline {
+			reserve += other.remaining
+			if other.phase == 0 || other.phase == 1 {
+				reserve += other.windup
+			}
+		}
+	}
+	at := j.deadline - reserve
+	if at < now {
+		at = now
+	}
+	return at
+}

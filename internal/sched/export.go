@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"encoding/json"
+	"io"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+)
+
+// SegmentJSON is the serialized form of one run segment.
+type SegmentJSON struct {
+	Thread   string `json:"thread"`
+	CPU      int    `json:"cpu"`
+	Priority int    `json:"priority"`
+	FromNs   int64  `json:"fromNs"`
+	ToNs     int64  `json:"toNs"`
+}
+
+// TraceJSON is the serialized form of a recorded schedule, consumable by
+// external timeline viewers.
+type TraceJSON struct {
+	HorizonNs int64         `json:"horizonNs"`
+	Segments  []SegmentJSON `json:"segments"`
+}
+
+// ExportJSON writes the recorded run segments of the given threads within
+// [from, to) as JSON.
+func ExportJSON(w io.Writer, rec *Recorder, threads []*kernel.Thread, from, to engine.Time) error {
+	out := TraceJSON{HorizonNs: int64(to.Sub(from))}
+	for _, t := range threads {
+		for _, s := range rec.Segments(t) {
+			if s.To <= from || s.From >= to {
+				continue
+			}
+			lo, hi := s.From, s.To
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			out.Segments = append(out.Segments, SegmentJSON{
+				Thread:   t.Name(),
+				CPU:      int(t.CPU()),
+				Priority: t.Priority(),
+				FromNs:   int64(lo.Sub(from)),
+				ToNs:     int64(hi.Sub(from)),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+)
+
+// Gantt renders the recorded run segments of the given threads as an ASCII
+// Gantt chart over [from, to), one row per thread, width columns wide. A
+// column is drawn '#' when the thread ran for more than half of the
+// column's time slice, '+' when it ran for less, and '.' when it did not
+// run. The chart is the visual counterpart of the paper's Fig. 3/Fig. 6
+// schedules.
+func Gantt(rec *Recorder, threads []*kernel.Thread, from, to engine.Time, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	span := to.Sub(from)
+	if span <= 0 {
+		return ""
+	}
+	nameW := 0
+	for _, t := range threads {
+		if len(t.Name()) > nameW {
+			nameW = len(t.Name())
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s %v ... %v (%v per column)\n",
+		nameW, "", from, to, span/time.Duration(width))
+	for _, t := range threads {
+		fmt.Fprintf(&b, "%-*s ", nameW, t.Name())
+		for col := 0; col < width; col++ {
+			lo := from.Add(span * time.Duration(col) / time.Duration(width))
+			hi := from.Add(span * time.Duration(col+1) / time.Duration(width))
+			ran := rec.Executed(t, lo, hi)
+			slice := hi.Sub(lo)
+			switch {
+			case ran > slice/2:
+				b.WriteByte('#')
+			case ran > 0:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

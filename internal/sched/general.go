@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// GeneralProcess runs a task under general scheduling in Liu & Layland's
+// model (paper Fig. 3, left): each job executes the whole WCET m+w as one
+// block at a single fixed priority, with no optional part and no optional
+// deadline. It is the baseline semi-fixed-priority scheduling is compared
+// against.
+type GeneralProcess struct {
+	k      *kernel.Kernel
+	tk     task.Task
+	jobs   int
+	thread *kernel.Thread
+
+	records []task.JobRecord
+}
+
+// NewGeneralProcess builds the baseline process.
+func NewGeneralProcess(k *kernel.Kernel, tk task.Task, priority int, cpu machine.HWThread, jobs int) (*GeneralProcess, error) {
+	if err := tk.Validate(); err != nil {
+		return nil, err
+	}
+	if jobs <= 0 {
+		return nil, fmt.Errorf("sched: jobs must be positive, got %d", jobs)
+	}
+	g := &GeneralProcess{k: k, tk: tk, jobs: jobs}
+	var err error
+	g.thread, err = k.NewThread(kernel.ThreadConfig{
+		Name:     tk.Name + ".general",
+		Priority: priority,
+		CPU:      cpu,
+	}, g.body)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Start launches the process.
+func (g *GeneralProcess) Start() { g.thread.Start() }
+
+// Thread returns the process's single thread.
+func (g *GeneralProcess) Thread() *kernel.Thread { return g.thread }
+
+// Records returns the accumulated job records.
+func (g *GeneralProcess) Records() []task.JobRecord {
+	out := make([]task.JobRecord, len(g.records))
+	copy(out, g.records)
+	return out
+}
+
+// Stats summarizes the accumulated job records.
+func (g *GeneralProcess) Stats() task.Stats { return task.Summarize(g.records) }
+
+func (g *GeneralProcess) body(c *kernel.TCB) {
+	for job := 0; job < g.jobs; job++ {
+		release := engine.At(time.Duration(job) * g.tk.Period)
+		c.SleepUntil(release)
+		start := c.Now()
+		c.Compute(g.tk.WCET())
+		g.records = append(g.records, task.JobRecord{
+			Job:            job,
+			Release:        release.Duration(),
+			MandatoryStart: start.Duration(),
+			WindupStart:    start.Duration(),
+			Finish:         c.Now().Duration(),
+			Deadline:       release.Add(g.tk.Deadline()).Duration(),
+		})
+	}
+}

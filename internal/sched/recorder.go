@@ -1,0 +1,119 @@
+// Package sched drives scheduling algorithms over the simulated kernel and
+// records their behaviour: the General (Liu & Layland) baseline, the P-RMWP
+// semi-fixed-priority runner built on the RT-Seed middleware, execution
+// trace recording for the paper's Fig. 3 remaining-execution-time curves,
+// and an idealized global-scheduling (G-RMWP) simulator for the
+// partitioned-versus-global ablation of §IV-B.
+package sched
+
+import (
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
+)
+
+// Segment is a half-open interval [From, To) during which a thread ran.
+type Segment struct {
+	From, To engine.Time
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() time.Duration { return s.To.Sub(s.From) }
+
+// Recorder collects per-thread run segments from the kernel tracer.
+type Recorder struct {
+	running  map[*kernel.Thread]engine.Time
+	segments map[*kernel.Thread][]Segment
+}
+
+// NewRecorder attaches a recorder to the kernel. It replaces any existing
+// tracer.
+func NewRecorder(k *kernel.Kernel) *Recorder {
+	r := &Recorder{
+		running:  make(map[*kernel.Thread]engine.Time),
+		segments: make(map[*kernel.Thread][]Segment),
+	}
+	k.SetTracer(r.observe)
+	return r
+}
+
+func (r *Recorder) observe(ev kernel.TraceEvent) {
+	switch ev.Kind {
+	case kernel.TraceDispatched:
+		r.running[ev.Thread] = ev.At
+	case kernel.TracePreempted, kernel.TraceBlocked, kernel.TraceSleeping, kernel.TraceExited:
+		if from, ok := r.running[ev.Thread]; ok {
+			delete(r.running, ev.Thread)
+			if ev.At > from {
+				r.segments[ev.Thread] = append(r.segments[ev.Thread], Segment{From: from, To: ev.At})
+			}
+		}
+	}
+}
+
+// Segments returns the recorded run segments of t in time order.
+func (r *Recorder) Segments(t *kernel.Thread) []Segment {
+	out := make([]Segment, len(r.segments[t]))
+	copy(out, r.segments[t])
+	return out
+}
+
+// Executed returns the CPU time t consumed within [from, to).
+func (r *Recorder) Executed(t *kernel.Thread, from, to engine.Time) time.Duration {
+	var sum time.Duration
+	for _, s := range r.segments[t] {
+		lo, hi := s.From, s.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			sum += hi.Sub(lo)
+		}
+	}
+	return sum
+}
+
+// TracePoint is one breakpoint of a remaining-execution-time curve R_i(t)
+// (paper Fig. 3): at time T the task has R remaining.
+type TracePoint struct {
+	T time.Duration
+	R time.Duration
+}
+
+// RemainingTime builds the R_i(t) curve for a budget that starts at `budget`
+// at time `from` and is drained by the thread's execution until exhausted or
+// until `to`. Each run segment contributes a linear decrease; the curve is
+// emitted as its breakpoints.
+func (r *Recorder) RemainingTime(t *kernel.Thread, from, to engine.Time, budget time.Duration) []TracePoint {
+	points := []TracePoint{{T: from.Duration(), R: budget}}
+	remaining := budget
+	for _, s := range r.segments[t] {
+		if s.To <= from || s.From >= to || remaining <= 0 {
+			continue
+		}
+		lo, hi := s.From, s.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		run := hi.Sub(lo)
+		if run > remaining {
+			hi = lo.Add(remaining)
+			run = remaining
+		}
+		// Flat until the segment starts, then linear decrease.
+		points = append(points, TracePoint{T: lo.Duration(), R: remaining})
+		remaining -= run
+		points = append(points, TracePoint{T: hi.Duration(), R: remaining})
+		if remaining <= 0 {
+			break
+		}
+	}
+	return points
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"rtseed/internal/core"
+	"rtseed/internal/task"
+)
+
+// Violation is one breach of the semi-fixed-priority execution rules found
+// by Validate.
+type Violation struct {
+	Rule string
+	Job  int
+	At   time.Duration
+	Msg  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("job %d @%v: %s: %s", v.Job, v.At, v.Rule, v.Msg)
+}
+
+// Validate independently cross-checks a finished process against the
+// model's execution rules, using only the recorded schedule (run segments
+// and job records) — not the middleware's own bookkeeping. The rules are
+// the paper's §II/§III semantics:
+//
+//  1. ordering — within each job: release ≤ mandatory start ≤ wind-up
+//     start ≤ finish, and the next job's mandatory never starts before
+//     this job finishes.
+//  2. windup-after-od — when any optional part was terminated, the wind-up
+//     part starts at or after the optional deadline.
+//  3. no-optional-during-mandatory — no optional thread runs on the
+//     mandatory thread's hardware thread while the mandatory thread runs
+//     there (they share a CPU, and NRTQ < RTQ priorities).
+//  4. part-accounting — every part's executed time is consistent with its
+//     outcome, and the per-job part count equals np.
+//
+// It returns all violations found (empty means the execution conforms).
+func Validate(rec *Recorder, p *core.Process, tk task.Task, od time.Duration) []Violation {
+	var out []Violation
+	records := p.Records()
+	mand := p.MandatoryThread()
+	opts := p.OptionalThreads()
+
+	var prevFinish time.Duration
+	for _, jr := range records {
+		at := jr.Release
+		check := func(rule string, ok bool, format string, args ...any) {
+			if !ok {
+				out = append(out, Violation{
+					Rule: rule, Job: jr.Job, At: at,
+					Msg: fmt.Sprintf(format, args...),
+				})
+			}
+		}
+		// Rule 1: ordering.
+		check("ordering", jr.Release <= jr.MandatoryStart,
+			"mandatory start %v before release %v", jr.MandatoryStart, jr.Release)
+		check("ordering", jr.MandatoryStart <= jr.WindupStart,
+			"wind-up start %v before mandatory start %v", jr.WindupStart, jr.MandatoryStart)
+		check("ordering", jr.WindupStart <= jr.Finish,
+			"finish %v before wind-up start %v", jr.Finish, jr.WindupStart)
+		check("ordering", jr.Job == 0 || jr.MandatoryStart >= prevFinish,
+			"job overlaps previous job finishing at %v", prevFinish)
+		prevFinish = jr.Finish
+
+		// Rule 2: wind-up never preempts a live optional window.
+		terminated := false
+		for _, part := range jr.Parts {
+			if part.Outcome == task.PartTerminated {
+				terminated = true
+			}
+		}
+		if terminated {
+			check("windup-after-od", jr.WindupStart >= jr.Release+od,
+				"wind-up at %v before optional deadline %v", jr.WindupStart, jr.Release+od)
+		}
+
+		// Rule 4: part accounting.
+		check("part-accounting", len(jr.Parts) == tk.NumOptional(),
+			"%d parts recorded, want %d", len(jr.Parts), tk.NumOptional())
+		for k, part := range jr.Parts {
+			switch part.Outcome {
+			case task.PartCompleted:
+				check("part-accounting", part.Executed >= part.Length,
+					"part %d completed with %v of %v executed", k, part.Executed, part.Length)
+			case task.PartTerminated:
+				check("part-accounting", part.Executed < part.Length,
+					"part %d terminated after full execution", k)
+			case task.PartDiscarded:
+				check("part-accounting", part.Executed == 0,
+					"part %d discarded but executed %v", k, part.Executed)
+			default:
+				check("part-accounting", false, "part %d has unknown outcome", k)
+			}
+		}
+	}
+
+	// Rule 3: mandatory-thread CPU exclusivity. Optional segments on the
+	// mandatory CPU must not overlap mandatory segments.
+	mandSegs := rec.Segments(mand)
+	for _, opt := range opts {
+		if opt.CPU() != mand.CPU() {
+			continue
+		}
+		for _, os := range rec.Segments(opt) {
+			for _, ms := range mandSegs {
+				if os.From < ms.To && ms.From < os.To {
+					out = append(out, Violation{
+						Rule: "no-optional-during-mandatory",
+						At:   os.From.Duration(),
+						Msg: fmt.Sprintf("optional %s ran [%v,%v) overlapping mandatory [%v,%v)",
+							opt.Name(), os.From, os.To, ms.From, ms.To),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MustValidate is Validate for tests: it fails the provided reporter on any
+// violation.
+func MustValidate(t interface{ Fatalf(string, ...any) }, rec *Recorder, p *core.Process, tk task.Task, od time.Duration) {
+	if vs := Validate(rec, p, tk, od); len(vs) > 0 {
+		t.Fatalf("schedule violates the model: %v (and %d more)", vs[0], len(vs)-1)
+	}
+}

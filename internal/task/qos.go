@@ -1,0 +1,136 @@
+package task
+
+import (
+	"fmt"
+	"time"
+)
+
+// PartOutcome is the fate of one parallel optional part in one job
+// (paper Fig. 1: completed, terminated, or discarded independently).
+type PartOutcome int
+
+const (
+	// PartCompleted means the optional part ran to completion before the
+	// optional deadline.
+	PartCompleted PartOutcome = iota + 1
+	// PartTerminated means the optional deadline expired mid-execution and
+	// the part was cut off.
+	PartTerminated
+	// PartDiscarded means the part never started: there was no time to
+	// execute it, so it was never signalled.
+	PartDiscarded
+)
+
+// String implements fmt.Stringer.
+func (p PartOutcome) String() string {
+	switch p {
+	case PartCompleted:
+		return "completed"
+	case PartTerminated:
+		return "terminated"
+	case PartDiscarded:
+		return "discarded"
+	default:
+		return "unknown"
+	}
+}
+
+// PartRecord is the per-job accounting for one parallel optional part.
+type PartRecord struct {
+	Outcome PartOutcome
+	// Executed is how much of the part's execution time actually ran.
+	Executed time.Duration
+	// Length is the part's full execution time o_{i,k}.
+	Length time.Duration
+}
+
+// Progress returns the executed fraction in [0,1]: the QoS contribution of
+// this part ("the longer the optional part of each task takes to execute,
+// the higher its QoS is", paper §II-A).
+func (p PartRecord) Progress() float64 {
+	if p.Length <= 0 {
+		return 1
+	}
+	f := float64(p.Executed) / float64(p.Length)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// JobRecord is the per-job accounting for one task.
+type JobRecord struct {
+	// Job is the job index, starting at 0.
+	Job int
+	// Release, MandatoryStart, WindupStart and Finish are the job's
+	// protocol timestamps in virtual time since simulation start.
+	Release        time.Duration
+	MandatoryStart time.Duration
+	WindupStart    time.Duration
+	Finish         time.Duration
+	// Deadline is the job's absolute deadline.
+	Deadline time.Duration
+	// Parts holds one record per parallel optional part.
+	Parts []PartRecord
+}
+
+// Met reports whether the job finished by its deadline.
+func (j JobRecord) Met() bool { return j.Finish <= j.Deadline }
+
+// QoS returns the job's quality of service: the mean progress of its
+// parallel optional parts (1 if the task has none — the result is then
+// always precise).
+func (j JobRecord) QoS() float64 {
+	if len(j.Parts) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, p := range j.Parts {
+		sum += p.Progress()
+	}
+	return sum / float64(len(j.Parts))
+}
+
+// Stats aggregates job records for one task.
+type Stats struct {
+	Jobs            int
+	DeadlineMisses  int
+	MeanQoS         float64
+	CompletedParts  int
+	TerminatedParts int
+	DiscardedParts  int
+}
+
+// Summarize aggregates a slice of job records.
+func Summarize(jobs []JobRecord) Stats {
+	var s Stats
+	s.Jobs = len(jobs)
+	qosSum := 0.0
+	for _, j := range jobs {
+		if !j.Met() {
+			s.DeadlineMisses++
+		}
+		qosSum += j.QoS()
+		for _, p := range j.Parts {
+			switch p.Outcome {
+			case PartCompleted:
+				s.CompletedParts++
+			case PartTerminated:
+				s.TerminatedParts++
+			case PartDiscarded:
+				s.DiscardedParts++
+			}
+		}
+	}
+	if s.Jobs > 0 {
+		s.MeanQoS = qosSum / float64(s.Jobs)
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("jobs=%d misses=%d qos=%.3f parts{done=%d cut=%d drop=%d}",
+		s.Jobs, s.DeadlineMisses, s.MeanQoS,
+		s.CompletedParts, s.TerminatedParts, s.DiscardedParts)
+}

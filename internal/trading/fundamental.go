@@ -1,0 +1,105 @@
+package trading
+
+import (
+	"fmt"
+	"math"
+
+	"rtseed/internal/engine"
+)
+
+// MacroSeries is a synthetic macroeconomic series (e.g. a GDP growth
+// estimate, the paper's fundamental-analysis example in §II-A): a slowly
+// varying signal sampled much less often than the price feed.
+type MacroSeries struct {
+	// Values are the period-by-period readings.
+	Values []float64
+	// TicksPerValue is how many price ticks elapse per macro reading.
+	TicksPerValue int
+}
+
+// SyntheticMacro generates n readings of a smooth mean-reverting series.
+func SyntheticMacro(n, ticksPerValue int, seed uint64) MacroSeries {
+	rng := engine.NewRand(seed)
+	vals := make([]float64, n)
+	v := 0.0
+	for i := range vals {
+		// Mean-reverting walk in roughly [-3, 3] "growth percent" units.
+		v = 0.95*v + 0.3*rng.NormFloat64()
+		vals[i] = v
+	}
+	return MacroSeries{Values: vals, TicksPerValue: ticksPerValue}
+}
+
+// At returns the reading in effect at tick seq (the latest published one).
+func (m MacroSeries) At(seq int) float64 {
+	if len(m.Values) == 0 {
+		return 0
+	}
+	i := 0
+	if m.TicksPerValue > 0 {
+		i = seq / m.TicksPerValue
+	}
+	if i >= len(m.Values) {
+		i = len(m.Values) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return m.Values[i]
+}
+
+// Fundamental scores macro readings against their recent trend: improving
+// fundamentals signal buy. It is anytime in the number of readings the
+// trend uses.
+type Fundamental struct {
+	// Series is the macro input.
+	Series MacroSeries
+	// Trend is how many readings the full evaluation compares (>= 2).
+	Trend int
+}
+
+// Name implements Indicator.
+func (f Fundamental) Name() string { return fmt.Sprintf("fundamental(%d)", f.Trend) }
+
+// MinHistory implements Indicator. The fundamental analyzer keys off the
+// tick count, not the price history, so any non-empty history suffices.
+func (f Fundamental) MinHistory() int { return 1 }
+
+// Evaluate implements Indicator. The tick sequence is inferred from the
+// length of the price history (one price per tick from feed start).
+func (f Fundamental) Evaluate(prices []float64, progress float64) Advice {
+	if f.Trend < 2 || len(prices) == 0 || len(f.Series.Values) == 0 {
+		return Advice{}
+	}
+	seq := len(prices) - 1
+	latest := f.Series.At(seq)
+	n := effective(f.Trend, progress)
+	// Average of the n readings preceding the latest one.
+	var sum float64
+	count := 0
+	for i := 1; i <= n; i++ {
+		back := seq - i*max(1, f.Series.TicksPerValue)
+		if back < 0 {
+			break
+		}
+		sum += f.Series.At(back)
+		count++
+	}
+	if count == 0 {
+		return Advice{Confidence: 0}
+	}
+	trend := latest - sum/float64(count)
+	return Advice{
+		Signal:     clamp(math.Tanh(trend), -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ Indicator = Fundamental{}

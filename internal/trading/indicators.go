@@ -1,0 +1,285 @@
+package trading
+
+import (
+	"fmt"
+	"math"
+)
+
+// Advice is an indicator's output: a signal in [-1, +1] (negative = sell,
+// positive = buy) and the confidence the indicator assigns to it in [0, 1].
+// Confidence scales with the progress an optional part achieved before its
+// optional deadline: terminating an analysis early yields a usable but
+// lower-QoS advice — exactly the imprecise-computation contract.
+type Advice struct {
+	Signal     float64
+	Confidence float64
+}
+
+// Indicator is an anytime analysis over a price history. Evaluate must
+// accept any progress in [0, 1] and degrade gracefully: progress 1 uses the
+// full window, progress p uses a correspondingly reduced effective history,
+// and the reported confidence never exceeds p.
+type Indicator interface {
+	// Name identifies the indicator.
+	Name() string
+	// MinHistory is the number of prices needed for a full evaluation.
+	MinHistory() int
+	// Evaluate analyses the most recent prices with the given progress.
+	Evaluate(prices []float64, progress float64) Advice
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// effective returns how many of the most recent samples an anytime
+// evaluation at `progress` may use, never fewer than min(2, full).
+func effective(full int, progress float64) int {
+	progress = clamp(progress, 0, 1)
+	n := int(math.Ceil(float64(full) * progress))
+	if n < 2 {
+		n = 2
+	}
+	if n > full {
+		n = full
+	}
+	return n
+}
+
+// tail returns the last n prices (or all of them).
+func tail(prices []float64, n int) []float64 {
+	if n >= len(prices) {
+		return prices
+	}
+	return prices[len(prices)-n:]
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Bollinger is the Bollinger Bands indicator the paper names as the
+// technical analysis of the parallel optional parts (§II-A): price below
+// the lower band signals buy, above the upper band signals sell.
+type Bollinger struct {
+	// Window is the moving-average window (default semantics: caller
+	// passes 20).
+	Window int
+	// K is the band width in standard deviations (typically 2).
+	K float64
+}
+
+// Name implements Indicator.
+func (b Bollinger) Name() string { return fmt.Sprintf("bollinger(%d,%.1f)", b.Window, b.K) }
+
+// MinHistory implements Indicator.
+func (b Bollinger) MinHistory() int { return b.Window }
+
+// Evaluate implements Indicator.
+func (b Bollinger) Evaluate(prices []float64, progress float64) Advice {
+	if len(prices) < 2 || b.Window < 2 || b.K <= 0 {
+		return Advice{}
+	}
+	n := effective(b.Window, progress)
+	window := tail(prices, n)
+	mean, std := meanStd(window)
+	if std == 0 {
+		return Advice{Confidence: 0}
+	}
+	last := prices[len(prices)-1]
+	// Normalized distance from the mean in band units: below the lower
+	// band (z < -1) is a buy.
+	z := (last - mean) / (b.K * std)
+	return Advice{
+		Signal:     clamp(-z, -1, 1),
+		Confidence: clamp(progress, 0, 1) * clamp(float64(n)/float64(b.Window), 0, 1),
+	}
+}
+
+// SMACross signals on the fast/slow simple-moving-average crossover.
+type SMACross struct {
+	Fast, Slow int
+}
+
+// Name implements Indicator.
+func (s SMACross) Name() string { return fmt.Sprintf("sma(%d/%d)", s.Fast, s.Slow) }
+
+// MinHistory implements Indicator.
+func (s SMACross) MinHistory() int { return s.Slow }
+
+// Evaluate implements Indicator.
+func (s SMACross) Evaluate(prices []float64, progress float64) Advice {
+	if s.Fast < 1 || s.Slow <= s.Fast || len(prices) < 2 {
+		return Advice{}
+	}
+	slowN := effective(s.Slow, progress)
+	fastN := effective(s.Fast, progress)
+	slowMean, _ := meanStd(tail(prices, slowN))
+	fastMean, _ := meanStd(tail(prices, fastN))
+	if slowMean == 0 {
+		return Advice{}
+	}
+	// Relative divergence of the averages, scaled into a signal.
+	div := (fastMean - slowMean) / slowMean
+	return Advice{
+		Signal:     clamp(div*2000, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+// EMACross signals on the exponential-moving-average crossover (the MACD
+// line without its signal smoothing).
+type EMACross struct {
+	Fast, Slow int
+}
+
+// Name implements Indicator.
+func (e EMACross) Name() string { return fmt.Sprintf("ema(%d/%d)", e.Fast, e.Slow) }
+
+// MinHistory implements Indicator.
+func (e EMACross) MinHistory() int { return e.Slow * 2 }
+
+func ema(prices []float64, n int) float64 {
+	if len(prices) == 0 {
+		return 0
+	}
+	alpha := 2 / (float64(n) + 1)
+	v := prices[0]
+	for _, p := range prices[1:] {
+		v = alpha*p + (1-alpha)*v
+	}
+	return v
+}
+
+// Evaluate implements Indicator.
+func (e EMACross) Evaluate(prices []float64, progress float64) Advice {
+	if e.Fast < 1 || e.Slow <= e.Fast || len(prices) < 2 {
+		return Advice{}
+	}
+	n := effective(e.MinHistory(), progress)
+	window := tail(prices, n)
+	fast := ema(window, e.Fast)
+	slow := ema(window, e.Slow)
+	if slow == 0 {
+		return Advice{}
+	}
+	div := (fast - slow) / slow
+	return Advice{
+		Signal:     clamp(div*2000, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+// RSI is the relative strength index: overbought (RSI > 50) signals sell,
+// oversold signals buy.
+type RSI struct {
+	Window int
+}
+
+// Name implements Indicator.
+func (r RSI) Name() string { return fmt.Sprintf("rsi(%d)", r.Window) }
+
+// MinHistory implements Indicator.
+func (r RSI) MinHistory() int { return r.Window + 1 }
+
+// Evaluate implements Indicator.
+func (r RSI) Evaluate(prices []float64, progress float64) Advice {
+	if r.Window < 2 || len(prices) < 3 {
+		return Advice{}
+	}
+	n := effective(r.MinHistory(), progress)
+	window := tail(prices, n)
+	var gain, loss float64
+	for i := 1; i < len(window); i++ {
+		d := window[i] - window[i-1]
+		if d > 0 {
+			gain += d
+		} else {
+			loss -= d
+		}
+	}
+	if gain+loss == 0 {
+		return Advice{Confidence: 0}
+	}
+	rsi := 100 * gain / (gain + loss)
+	return Advice{
+		Signal:     clamp((50-rsi)/50, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+// MACD is the moving-average convergence/divergence histogram indicator.
+type MACD struct {
+	Fast, Slow, Smooth int
+}
+
+// Name implements Indicator.
+func (m MACD) Name() string { return fmt.Sprintf("macd(%d,%d,%d)", m.Fast, m.Slow, m.Smooth) }
+
+// MinHistory implements Indicator.
+func (m MACD) MinHistory() int { return (m.Slow + m.Smooth) * 2 }
+
+// Evaluate implements Indicator.
+func (m MACD) Evaluate(prices []float64, progress float64) Advice {
+	if m.Fast < 1 || m.Slow <= m.Fast || m.Smooth < 1 || len(prices) < 3 {
+		return Advice{}
+	}
+	n := effective(m.MinHistory(), progress)
+	window := tail(prices, n)
+	if len(window) < 3 {
+		return Advice{}
+	}
+	// MACD line over the window, then its smoothed signal line.
+	line := make([]float64, 0, len(window))
+	for i := 2; i <= len(window); i++ {
+		line = append(line, ema(window[:i], m.Fast)-ema(window[:i], m.Slow))
+	}
+	signal := ema(line, m.Smooth)
+	hist := line[len(line)-1] - signal
+	ref := window[len(window)-1]
+	if ref == 0 {
+		return Advice{}
+	}
+	return Advice{
+		Signal:     clamp(hist/ref*5000, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+var (
+	_ Indicator = Bollinger{}
+	_ Indicator = SMACross{}
+	_ Indicator = EMACross{}
+	_ Indicator = RSI{}
+	_ Indicator = MACD{}
+)
+
+// DefaultTechnical returns the standard technical-analysis battery with
+// conventional parameters, Bollinger Bands first (the paper's example).
+func DefaultTechnical() []Indicator {
+	return []Indicator{
+		Bollinger{Window: 20, K: 2},
+		SMACross{Fast: 5, Slow: 20},
+		EMACross{Fast: 12, Slow: 26},
+		RSI{Window: 14},
+		MACD{Fast: 12, Slow: 26, Smooth: 9},
+	}
+}

@@ -1,0 +1,89 @@
+package trading
+
+import "fmt"
+
+// Stochastic is the stochastic oscillator %K over a window of closes: the
+// position of the last price within the window's range. Above 80 is
+// overbought (sell), below 20 oversold (buy).
+type Stochastic struct {
+	Window int
+}
+
+// Name implements Indicator.
+func (s Stochastic) Name() string { return fmt.Sprintf("stochastic(%d)", s.Window) }
+
+// MinHistory implements Indicator.
+func (s Stochastic) MinHistory() int { return s.Window }
+
+// Evaluate implements Indicator.
+func (s Stochastic) Evaluate(prices []float64, progress float64) Advice {
+	if s.Window < 2 || len(prices) < 2 {
+		return Advice{}
+	}
+	n := effective(s.Window, progress)
+	window := tail(prices, n)
+	lo, hi := window[0], window[0]
+	for _, p := range window {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if hi == lo {
+		return Advice{Confidence: 0}
+	}
+	k := (prices[len(prices)-1] - lo) / (hi - lo) // %K in [0,1]
+	// Map %K to a signal: 0 (bottom of range) -> +1 buy, 1 -> -1 sell.
+	return Advice{
+		Signal:     clamp(1-2*k, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+// Momentum is the n-period rate of change: positive momentum signals buy.
+type Momentum struct {
+	Window int
+}
+
+// Name implements Indicator.
+func (m Momentum) Name() string { return fmt.Sprintf("momentum(%d)", m.Window) }
+
+// MinHistory implements Indicator.
+func (m Momentum) MinHistory() int { return m.Window + 1 }
+
+// Evaluate implements Indicator.
+func (m Momentum) Evaluate(prices []float64, progress float64) Advice {
+	if m.Window < 1 || len(prices) < 2 {
+		return Advice{}
+	}
+	n := effective(m.Window, progress)
+	if n >= len(prices) {
+		n = len(prices) - 1
+	}
+	last := prices[len(prices)-1]
+	ref := prices[len(prices)-1-n]
+	if ref == 0 {
+		return Advice{}
+	}
+	roc := (last - ref) / ref
+	return Advice{
+		Signal:     clamp(roc*1000, -1, 1),
+		Confidence: clamp(progress, 0, 1),
+	}
+}
+
+var (
+	_ Indicator = Stochastic{}
+	_ Indicator = Momentum{}
+)
+
+// ExtendedTechnical returns the default battery plus the stochastic
+// oscillator and momentum indicators.
+func ExtendedTechnical() []Indicator {
+	return append(DefaultTechnical(),
+		Stochastic{Window: 14},
+		Momentum{Window: 10},
+	)
+}

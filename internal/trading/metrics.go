@@ -1,0 +1,86 @@
+package trading
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics summarizes a trading run from its equity curve and decisions.
+type Metrics struct {
+	// FinalPnL is the last equity value.
+	FinalPnL float64
+	// MaxDrawdown is the largest peak-to-trough equity fall (>= 0).
+	MaxDrawdown float64
+	// Sharpe is the annualized-free Sharpe ratio of per-step equity
+	// changes (mean/σ, 0 when σ is 0).
+	Sharpe float64
+	// HitRate is the fraction of closed round turns with positive PnL
+	// contribution, approximated per equity step while in position.
+	HitRate float64
+	// Trades and Waits count the decisions.
+	Trades, Waits int
+}
+
+// ComputeMetrics derives Metrics from an equity curve (one sample per job)
+// and the decision history.
+func ComputeMetrics(equity []float64, decisions []Decision) Metrics {
+	var m Metrics
+	for _, d := range decisions {
+		if d.Action == Wait {
+			m.Waits++
+		} else {
+			m.Trades++
+		}
+	}
+	if len(equity) == 0 {
+		return m
+	}
+	m.FinalPnL = equity[len(equity)-1]
+	peak := equity[0]
+	for _, e := range equity {
+		if e > peak {
+			peak = e
+		}
+		if dd := peak - e; dd > m.MaxDrawdown {
+			m.MaxDrawdown = dd
+		}
+	}
+	if len(equity) < 2 {
+		return m
+	}
+	diffs := make([]float64, 0, len(equity)-1)
+	wins, moves := 0, 0
+	for i := 1; i < len(equity); i++ {
+		d := equity[i] - equity[i-1]
+		diffs = append(diffs, d)
+		if d != 0 {
+			moves++
+			if d > 0 {
+				wins++
+			}
+		}
+	}
+	mean := 0.0
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= float64(len(diffs))
+	variance := 0.0
+	for _, d := range diffs {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(len(diffs))
+	if sd := math.Sqrt(variance); sd > 0 {
+		m.Sharpe = mean / sd
+	}
+	if moves > 0 {
+		m.HitRate = float64(wins) / float64(moves)
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (m Metrics) String() string {
+	return fmt.Sprintf("pnl=%+.5f maxDD=%.5f sharpe=%.3f hit=%.2f trades=%d waits=%d",
+		m.FinalPnL, m.MaxDrawdown, m.Sharpe, m.HitRate, m.Trades, m.Waits)
+}

@@ -1,0 +1,172 @@
+package trading
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The paper's mandatory part "obtains exchange data (e.g., EUR/USD) from a
+// stock company" (§II-A) — a network ingest. FeedServer streams ticks as
+// newline-delimited JSON over TCP, and NetFeed consumes them, so the
+// trading pipeline can run against a remote quote source exactly as it runs
+// against the in-process generator.
+
+// FeedServer serves a Feed's ticks to every connecting client. Each client
+// receives the stream from its connection time onward.
+type FeedServer struct {
+	feed *Feed
+
+	mu      sync.Mutex
+	ln      net.Listener
+	closed  bool
+	clients map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// NewFeedServer wraps a feed for serving.
+func NewFeedServer(feed *Feed) *FeedServer {
+	return &FeedServer{feed: feed, clients: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts clients on ln until Close is called. Each accepted client
+// is handled on its own goroutine: it receives `count` ticks (the shared
+// feed is advanced under the server lock so concurrent clients see a
+// disjoint partition of the stream — suitable for tests and demos; a
+// production server would fan the same stream out).
+func (s *FeedServer) Serve(ln net.Listener, count int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("trading: feed server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("feed server accept: %w", err)
+		}
+		s.mu.Lock()
+		s.clients[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.stream(conn, count)
+			s.mu.Lock()
+			delete(s.clients, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// stream writes count ticks to the connection as JSON lines.
+func (s *FeedServer) stream(w io.Writer, count int) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < count; i++ {
+		s.mu.Lock()
+		t := s.feed.Next()
+		s.mu.Unlock()
+		if enc.Encode(tickWire{Seq: t.Seq, AtNs: int64(t.At), Bid: t.Bid, Ask: t.Ask}) != nil {
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and disconnects all clients.
+func (s *FeedServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.clients {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// tickWire is the on-the-wire form of a Tick.
+type tickWire struct {
+	Seq  int     `json:"seq"`
+	AtNs int64   `json:"atNs"`
+	Bid  float64 `json:"bid"`
+	Ask  float64 `json:"ask"`
+}
+
+// NetFeed reads ticks from a feed server connection. It satisfies the same
+// Next/Take shape as Feed, so the pipeline's mandatory part can ingest from
+// either.
+type NetFeed struct {
+	conn net.Conn
+	dec  *json.Decoder
+}
+
+// DialFeed connects to a feed server.
+func DialFeed(addr string) (*NetFeed, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial feed: %w", err)
+	}
+	return NewNetFeed(conn), nil
+}
+
+// NewNetFeed wraps an established connection (e.g. one side of net.Pipe in
+// tests).
+func NewNetFeed(conn net.Conn) *NetFeed {
+	return &NetFeed{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn))}
+}
+
+// Next reads the next tick, blocking until one arrives.
+func (f *NetFeed) Next() (Tick, error) {
+	var w tickWire
+	if err := f.dec.Decode(&w); err != nil {
+		return Tick{}, fmt.Errorf("read tick: %w", err)
+	}
+	if w.Ask <= w.Bid {
+		return Tick{}, fmt.Errorf("read tick: crossed quote bid=%v ask=%v", w.Bid, w.Ask)
+	}
+	return Tick{Seq: w.Seq, At: time.Duration(w.AtNs), Bid: w.Bid, Ask: w.Ask}, nil
+}
+
+// Take reads the next n ticks.
+func (f *NetFeed) Take(n int) ([]Tick, error) {
+	out := make([]Tick, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := f.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Close closes the connection.
+func (f *NetFeed) Close() error { return f.conn.Close() }
+
+// NextTick implements Source.
+func (f *NetFeed) NextTick() (Tick, error) { return f.Next() }
+
+var _ Source = (*NetFeed)(nil)

@@ -1,0 +1,130 @@
+package trading
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetFeedOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, _ := NewFeed(FeedConfig{Seed: 21})
+	ref, _ := NewFeed(FeedConfig{Seed: 21})
+	srv := NewFeedServer(feed)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln, 50) }()
+
+	client, err := DialFeed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks, err := client.Take(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 50 {
+		t.Fatalf("%d ticks", len(ticks))
+	}
+	want := ref.Take(50)
+	for i := range ticks {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d: %+v over the wire, want %+v", i, ticks[i], want[i])
+		}
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetFeedPipelineIntegration(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed, _ := NewFeed(FeedConfig{Seed: 5, Volatility: 0.002})
+	srv := NewFeedServer(feed)
+	go srv.Serve(ln, 60)
+	defer srv.Close()
+
+	client, err := DialFeed(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Drive the pipeline's price history from the network instead of the
+	// in-process feed: a local dummy feed supplies the pipeline object, but
+	// prices come off the wire.
+	dummy, _ := NewFeed(FeedConfig{Seed: 1})
+	p, err := NewPipeline(dummy, DefaultTechnical(), NewEngine(), NewBroker(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks, err := client.Take(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job, tick := range ticks {
+		p.prices = append(p.prices, tick.Mid())
+		p.ticks = append(p.ticks, tick)
+		for k := 0; k < p.NumOptional(); k++ {
+			p.OnOptional(job, k, 1)
+		}
+		p.OnWindup(job, nil)
+	}
+	if len(p.Decisions()) != 60 {
+		t.Fatalf("%d decisions", len(p.Decisions()))
+	}
+}
+
+func TestNetFeedRejectsCrossedQuote(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	go func() {
+		a.Write([]byte(`{"seq":0,"atNs":0,"bid":1.2,"ask":1.1}` + "\n"))
+	}()
+	nf := NewNetFeed(b)
+	defer nf.Close()
+	if _, err := nf.Next(); err == nil || !strings.Contains(err.Error(), "crossed") {
+		t.Fatalf("crossed quote accepted: %v", err)
+	}
+}
+
+func TestNetFeedEOF(t *testing.T) {
+	a, b := net.Pipe()
+	nf := NewNetFeed(b)
+	go a.Close()
+	deadline := time.After(2 * time.Second)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := nf.Next()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("EOF should error")
+		}
+	case <-deadline:
+		t.Fatal("Next hung on closed connection")
+	}
+}
+
+func TestServeAfterCloseErrors(t *testing.T) {
+	feed, _ := NewFeed(FeedConfig{Seed: 1})
+	srv := NewFeedServer(feed)
+	srv.Close()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	if err := srv.Serve(ln, 1); err == nil {
+		t.Fatal("serve after close accepted")
+	}
+}
