@@ -1,0 +1,32 @@
+# Tier-1 verification plus the race detector and a benchmark smoke run,
+# in one command: `make ci`.
+
+GO ?= go
+
+.PHONY: ci vet build test test-race bench-smoke bench clean
+
+ci: vet build test test-race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark at a single iteration each: catches
+# benchmark bit-rot without the cost of a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full measurement run (slow): one bench per table/figure of the paper.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

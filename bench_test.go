@@ -15,6 +15,7 @@ package rtseed
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -477,6 +478,66 @@ func BenchmarkTradingPipeline(b *testing.B) {
 	k.Run()
 	if p.Stats().Jobs != b.N {
 		b.Fatalf("ran %d jobs, want %d", p.Stats().Jobs, b.N)
+	}
+}
+
+// BenchmarkEngineScheduleStep measures the engine's steady-state hot path:
+// one Schedule→Step cycle with a warm node pool. The companion test
+// TestScheduleStepZeroAlloc asserts the 0 allocs/op this reports.
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := engine.New()
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the node pool
+		e.Schedule(e.Now(), 0, fn)
+	}
+	for e.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now(), 0, fn)
+		e.Step()
+	}
+}
+
+// benchSweepCfg is the reduced Figs. 10-13 grid used by the executor
+// benchmarks: 27 independent cells (3 loads x 3 policies x 3 np values).
+func benchSweepCfg(workers int) overhead.SweepConfig {
+	return overhead.SweepConfig{NumParts: []int{4, 16, 57}, Jobs: 3, Workers: workers}
+}
+
+// BenchmarkSweepSequential runs the reduced figure sweep on one worker —
+// the pre-parallelism baseline.
+func BenchmarkSweepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := overhead.SweepAll(benchSweepCfg(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep on GOMAXPROCS workers and
+// reports the measured wall-clock speedup over a one-worker run of the
+// same grid ("speedup-x"; ~1 on a single-CPU host, ~min(workers, 27) on
+// real hardware since the cells are embarrassingly parallel).
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	seqStart := time.Now()
+	if _, err := overhead.SweepAll(benchSweepCfg(1)); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	parStart := time.Now()
+	if _, err := overhead.SweepAll(benchSweepCfg(workers)); err != nil {
+		b.Fatal(err)
+	}
+	par := time.Since(parStart)
+	b.ReportMetric(float64(seq)/float64(par), "speedup-x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := overhead.SweepAll(benchSweepCfg(workers)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

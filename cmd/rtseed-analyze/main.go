@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rtseed/internal/analysis"
 	"rtseed/internal/partition"
@@ -29,10 +30,11 @@ func main() {
 	accept := flag.Bool("accept", false, "run an acceptance-ratio sweep over random task sets instead")
 	acceptN := flag.Int("accept-n", 6, "tasks per random set for -accept")
 	acceptSets := flag.Int("accept-sets", 200, "random sets per utilization point for -accept")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "utilization points evaluated in parallel for -accept (results are identical for any value)")
 	flag.Parse()
 	var err error
 	if *accept {
-		err = runAcceptance(*acceptN, *acceptSets)
+		err = runAcceptance(*acceptN, *acceptSets, *workers)
 	} else {
 		err = runWithSource(*spec, *taskFile, *m)
 	}
@@ -45,7 +47,7 @@ func main() {
 // runAcceptance sweeps random task sets over total utilization and compares
 // the RMWP test against general-RM exact analysis and the Liu & Layland
 // bound — the cost of guaranteeing wind-up parts.
-func runAcceptance(n, sets int) error {
+func runAcceptance(n, sets, workers int) error {
 	var utils []float64
 	for u := 0.1; u <= 1.0001; u += 0.1 {
 		utils = append(utils, u)
@@ -55,6 +57,7 @@ func runAcceptance(n, sets int) error {
 		SetsPerPoint: sets,
 		Utilizations: utils,
 		Seed:         0xacce,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err

@@ -34,7 +34,7 @@ func TestRunBadSpec(t *testing.T) {
 }
 
 func TestRunAcceptance(t *testing.T) {
-	if err := runAcceptance(3, 10); err != nil {
+	if err := runAcceptance(3, 10, 2); err != nil {
 		t.Fatal(err)
 	}
 }

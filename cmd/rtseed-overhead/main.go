@@ -6,16 +6,19 @@
 //
 // Usage:
 //
-//	rtseed-overhead [-fig 10|11|12|13|0] [-jobs N] [-quick]
+//	rtseed-overhead [-fig 10|11|12|13|0] [-jobs N] [-quick] [-workers N]
 //
 // -fig 0 (default) prints every figure. -quick reduces the sweep and job
-// count for a fast sanity run.
+// count for a fast sanity run. -workers bounds how many sweep cells are
+// simulated in parallel (default GOMAXPROCS); every cell is an independent
+// deterministic simulation, so the figures are identical for any value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rtseed/internal/assign"
 	"rtseed/internal/machine"
@@ -30,12 +33,13 @@ func main() {
 	seed := flag.Uint64("seed", 0, "machine jitter seed (0 = default)")
 	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
 	dist := flag.Bool("dist", false, "print overhead distributions (p50/p95/p99) at np=228 instead of the sweep")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep cells simulated in parallel (results are identical for any value)")
 	flag.Parse()
 	var err error
 	if *dist {
 		err = runDistributions(*jobs, *seed)
 	} else {
-		err = run(*fig, *jobs, *quick, *seed, *csvPath)
+		err = run(*fig, *jobs, *quick, *seed, *csvPath, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)
@@ -68,8 +72,8 @@ func runDistributions(jobs int, seed uint64) error {
 	return nil
 }
 
-func run(fig, jobs int, quick bool, seed uint64, csvPath string) error {
-	cfg := overhead.SweepConfig{Jobs: jobs, Seed: seed}
+func run(fig, jobs int, quick bool, seed uint64, csvPath string, workers int) error {
+	cfg := overhead.SweepConfig{Jobs: jobs, Seed: seed, Workers: workers}
 	if quick {
 		cfg.NumParts = []int{4, 57, 228}
 		if jobs > 10 {
@@ -86,15 +90,13 @@ func run(fig, jobs int, quick bool, seed uint64, csvPath string) error {
 		return fmt.Errorf("unknown figure %d (want 10-13 or 0)", fig)
 	}
 
-	var allFigs []overhead.FigureData
+	allFigs, err := overhead.SweepAll(cfg)
+	if err != nil {
+		return err
+	}
 	for _, load := range machine.Loads() {
-		figs, err := overhead.SweepLoad(cfg, load)
-		if err != nil {
-			return err
-		}
-		allFigs = append(allFigs, figs...)
 		for _, kind := range kinds {
-			fd := overhead.ByKindLoad(figs, kind, load)
+			fd := overhead.ByKindLoad(allFigs, kind, load)
 			if fd == nil {
 				continue
 			}

@@ -3,20 +3,20 @@ package main
 import "testing"
 
 func TestRunQuickSingleFigure(t *testing.T) {
-	if err := run(13, 3, true, 0, ""); err != nil {
+	if err := run(13, 3, true, 0, "", 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(99, 3, true, 0, ""); err == nil {
+	if err := run(99, 3, true, 0, "", 2); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunWithCSV(t *testing.T) {
 	path := t.TempDir() + "/figs.csv"
-	if err := run(10, 2, true, 0, path); err != nil {
+	if err := run(10, 2, true, 0, path, 2); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rtseed-repro [-jobs N] [-quick] [-o report.md]
+//	rtseed-repro [-jobs N] [-quick] [-o report.md] [-workers N]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"rtseed/internal/analysis"
@@ -29,6 +30,7 @@ func main() {
 	jobs := flag.Int("jobs", 100, "jobs per overhead measurement")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep cells simulated in parallel (the report is identical for any value)")
 	flag.Parse()
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -40,13 +42,13 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, *jobs, *quick); err != nil {
+	if err := run(w, *jobs, *quick, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, jobs int, quick bool) error {
+func run(w io.Writer, jobs int, quick bool, workers int) error {
 	started := time.Now()
 	fmt.Fprintf(w, "# RT-Seed reproduction report\n\n")
 	fmt.Fprintf(w, "Simulated Xeon Phi 3120A (57 cores x 4 HW threads); %d jobs per measurement.\n\n", jobs)
@@ -57,13 +59,13 @@ func run(w io.Writer, jobs int, quick bool) error {
 	if err := sectionFig3(w); err != nil {
 		return err
 	}
-	if err := sectionOverheads(w, jobs, quick); err != nil {
+	if err := sectionOverheads(w, jobs, quick, workers); err != nil {
 		return err
 	}
 	if err := sectionTableI(w); err != nil {
 		return err
 	}
-	if err := sectionAcceptance(w, quick); err != nil {
+	if err := sectionAcceptance(w, quick, workers); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(started).Round(time.Millisecond))
@@ -122,17 +124,17 @@ func sectionFig3(w io.Writer) error {
 	return nil
 }
 
-func sectionOverheads(w io.Writer, jobs int, quick bool) error {
-	cfg := overhead.SweepConfig{Jobs: jobs}
+func sectionOverheads(w io.Writer, jobs int, quick bool, workers int) error {
+	cfg := overhead.SweepConfig{Jobs: jobs, Workers: workers}
 	if quick {
 		cfg.NumParts = []int{4, 57, 228}
 		cfg.Jobs = 10
 	}
+	figs, err := overhead.SweepAll(cfg)
+	if err != nil {
+		return err
+	}
 	for _, load := range machine.Loads() {
-		figs, err := overhead.SweepLoad(cfg, load)
-		if err != nil {
-			return err
-		}
 		for _, kind := range overhead.Kinds() {
 			fd := overhead.ByKindLoad(figs, kind, load)
 			fmt.Fprintf(w, "## Figure %d (%s) — %s\n\n```\n", kind.Figure(), kind, load)
@@ -184,7 +186,7 @@ func sectionTableI(w io.Writer) error {
 	return nil
 }
 
-func sectionAcceptance(w io.Writer, quick bool) error {
+func sectionAcceptance(w io.Writer, quick bool, workers int) error {
 	sets := 200
 	if quick {
 		sets = 40
@@ -194,6 +196,7 @@ func sectionAcceptance(w io.Writer, quick bool) error {
 		SetsPerPoint: sets,
 		Utilizations: []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
 		Seed:         0xacce,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err

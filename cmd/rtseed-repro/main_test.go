@@ -8,7 +8,7 @@ import (
 
 func TestRunQuickReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 3, true); err != nil {
+	if err := run(&buf, 3, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

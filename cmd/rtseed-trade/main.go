@@ -64,7 +64,7 @@ func runSweep(policyName, loadName string) error {
 	if err != nil {
 		return err
 	}
-	points, err := overhead.QoSSweep(load, pol, nil, 20, 0xfeed)
+	points, err := overhead.QoSSweep(load, pol, nil, 20, 0xfeed, 0)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtseed/internal/sweep"
 	"rtseed/internal/task"
 )
 
@@ -33,6 +34,11 @@ type AcceptanceConfig struct {
 	WindupFraction float64
 	// Seed seeds the generator.
 	Seed uint64
+	// Workers bounds the number of utilization points evaluated
+	// concurrently (default GOMAXPROCS). Each set's generator seed is a
+	// pure function of (Seed, point, set), so the curves are identical for
+	// any worker count.
+	Workers int
 }
 
 // AcceptanceRatio sweeps random task sets over target utilizations and
@@ -45,22 +51,23 @@ func AcceptanceRatio(cfg AcceptanceConfig) ([]AcceptancePoint, error) {
 	if cfg.N <= 0 || cfg.SetsPerPoint <= 0 || len(cfg.Utilizations) == 0 {
 		return nil, fmt.Errorf("analysis: bad acceptance config %+v", cfg)
 	}
-	out := make([]AcceptancePoint, 0, len(cfg.Utilizations))
-	seed := cfg.Seed
-	for _, u := range cfg.Utilizations {
+	return sweep.Map(cfg.Workers, len(cfg.Utilizations), func(pi int) (AcceptancePoint, error) {
+		u := cfg.Utilizations[pi]
+		// Set j of point pi draws seed Seed + pi*SetsPerPoint + j + 1 —
+		// the same stream the original sequential loop consumed.
+		seedBase := cfg.Seed + uint64(pi*cfg.SetsPerPoint)
 		var rmwp, rm, ll int
-		for i := 0; i < cfg.SetsPerPoint; i++ {
-			seed++
+		for j := 0; j < cfg.SetsPerPoint; j++ {
 			set, err := task.Generate(task.GenConfig{
 				N:                cfg.N,
 				TotalUtilization: u,
 				WindupFraction:   cfg.WindupFraction,
 				MinPeriod:        10 * time.Millisecond,
 				MaxPeriod:        time.Second,
-				Seed:             seed,
+				Seed:             seedBase + uint64(j) + 1,
 			})
 			if err != nil {
-				return nil, err
+				return AcceptancePoint{}, err
 			}
 			if _, err := RMWP(set); err == nil {
 				rmwp++
@@ -73,12 +80,11 @@ func AcceptanceRatio(cfg AcceptanceConfig) ([]AcceptancePoint, error) {
 			}
 		}
 		n := float64(cfg.SetsPerPoint)
-		out = append(out, AcceptancePoint{
+		return AcceptancePoint{
 			Utilization: u,
 			RMWP:        float64(rmwp) / n,
 			GeneralRM:   float64(rm) / n,
 			LLBound:     float64(ll) / n,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

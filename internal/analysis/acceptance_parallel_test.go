@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The acceptance-ratio curves must be identical for any worker count: each
+// random set's generator seed is a pure function of (Seed, point, set), not
+// of execution order.
+func TestAcceptanceRatioDeterministicAcrossWorkers(t *testing.T) {
+	cfg := AcceptanceConfig{
+		N:            4,
+		SetsPerPoint: 25,
+		Utilizations: []float64{0.3, 0.5, 0.7, 0.9},
+		Seed:         0xacce,
+	}
+	cfg.Workers = 1
+	want, err := AcceptanceRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		got, err := AcceptanceRatio(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("Workers=%d curve differs from Workers=1:\n%+v\nvs\n%+v", workers, got, want)
+		}
+	}
+}

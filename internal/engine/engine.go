@@ -5,10 +5,15 @@
 // RT-Seed middleware protocol) are driven by a single Engine. Events that
 // share a timestamp are ordered by priority and then by insertion sequence,
 // so a given program always produces the same schedule.
+//
+// The queue is a specialized min-heap over pooled event nodes: fired and
+// cancelled nodes return to a free list and are recycled by later Schedule
+// calls, so the steady-state Schedule→Step cycle allocates nothing. Event
+// handles are values carrying a generation counter; a handle left over from
+// a fired event is inert even after its node has been recycled.
 package engine
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -33,27 +38,46 @@ func (t Time) String() string { return time.Duration(t).String() }
 // At builds a Time from a duration since the simulation origin.
 func At(d time.Duration) Time { return Time(d) }
 
-// Event is a scheduled callback. It is returned by Engine.Schedule so the
-// caller can cancel it before it fires.
-type Event struct {
+// node is the pooled representation of a scheduled callback. Nodes are owned
+// by the engine: they live either in the queue or on the free list, and their
+// generation counter is bumped every time they are released, invalidating any
+// Event handles still pointing at them.
+type node struct {
 	at       Time
 	priority int
 	seq      uint64
+	gen      uint64
 	fn       func()
 	index    int // heap index; -1 when not queued
 }
 
-// When returns the instant the event is scheduled for.
-func (e *Event) When() Time { return e.at }
+// Event is a handle to a scheduled callback, returned by Engine.Schedule so
+// the caller can cancel the event before it fires. The zero Event is valid
+// and refers to nothing. Handles are values: holding one past the event's
+// firing is safe — it simply stops matching the recycled node's generation.
+type Event struct {
+	n   *node
+	gen uint64
+}
+
+// When returns the instant the event is scheduled for, or 0 if the handle no
+// longer refers to a live event.
+func (e Event) When() Time {
+	if !e.Scheduled() {
+		return 0
+	}
+	return e.n.at
+}
 
 // Scheduled reports whether the event is still queued.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+func (e Event) Scheduled() bool { return e.n != nil && e.n.gen == e.gen && e.n.index >= 0 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now   Time
-	queue eventQueue
+	queue []*node
+	free  []*node
 	seq   uint64
 	steps uint64
 }
@@ -77,41 +101,55 @@ var ErrPast = errors.New("engine: event scheduled in the past")
 // ascending priority order (lower value runs first) and then in insertion
 // order. It panics if at precedes the current time: that is always a
 // simulation bug, not a recoverable condition.
-func (e *Engine) Schedule(at Time, priority int, fn func()) *Event {
+func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast))
 	}
 	e.seq++
-	ev := &Event{at: at, priority: priority, seq: e.seq, fn: fn, index: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	var n *node
+	if len(e.free) > 0 {
+		n = e.free[len(e.free)-1]
+		e.free[len(e.free)-1] = nil
+		e.free = e.free[:len(e.free)-1]
+	} else {
+		n = &node{}
+	}
+	n.at = at
+	n.priority = priority
+	n.seq = e.seq
+	n.fn = fn
+	n.index = len(e.queue)
+	e.queue = append(e.queue, n)
+	e.siftUp(n.index)
+	return Event{n: n, gen: n.gen}
 }
 
 // After queues fn to run d after the current time.
-func (e *Engine) After(d time.Duration, priority int, fn func()) *Event {
+func (e *Engine) After(d time.Duration, priority int, fn func()) Event {
 	return e.Schedule(e.now.Add(d), priority, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event. Cancelling an event that already fired,
+// was already cancelled, or is the zero Event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Scheduled() {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.remove(ev.n.index)
 }
 
 // Step processes the next event, advancing the clock to its timestamp.
 // It reports whether an event was processed.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
+	n := e.queue[0]
+	e.now = n.at
 	e.steps++
-	ev.fn()
+	fn := n.fn
+	e.remove(0)
+	fn()
 	return true
 }
 
@@ -124,7 +162,7 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to deadline. Events scheduled after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -133,15 +171,73 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
-// eventQueue is a min-heap ordered by (at, priority, seq).
-type eventQueue []*Event
+// remove detaches the node at heap index i, restores the heap property, and
+// releases the node to the free list.
+func (e *Engine) remove(i int) {
+	n := e.queue[i]
+	last := len(e.queue) - 1
+	if i != last {
+		e.queue[i] = e.queue[last]
+		e.queue[i].index = i
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	n.index = -1
+	n.gen++ // invalidate outstanding handles before the node is recycled
+	n.fn = nil
+	e.free = append(e.free, n)
+}
 
-func (q eventQueue) Len() int { return len(q) }
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	n := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(n, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = n
+	n.index = i
+}
 
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
+// siftDown restores the heap below i, reporting whether the node moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := q[i]
+	start := i
+	half := len(q) / 2
+	for i < half {
+		child := 2*i + 1
+		if right := child + 1; right < len(q) && less(q[right], q[child]) {
+			child = right
+		}
+		c := q[child]
+		if !less(c, n) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = child
+	}
+	q[i] = n
+	n.index = i
+	return i > start
+}
+
+// less orders nodes by (at, priority, seq).
+func less(a, b *node) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -149,26 +245,4 @@ func (q eventQueue) Less(i, j int) bool {
 		return a.priority < b.priority
 	}
 	return a.seq < b.seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
 }

@@ -57,13 +57,13 @@ func TestCancel(t *testing.T) {
 		t.Fatal("cancelled event fired")
 	}
 	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(At(time.Duration(i)*time.Millisecond), 0, func() { got = append(got, i) })

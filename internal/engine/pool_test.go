@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// A handle to an event that already fired must be inert: Scheduled reports
+// false and Cancel is a no-op.
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.Schedule(At(time.Millisecond), 0, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if ev.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+	if ev.When() != 0 {
+		t.Fatalf("fired event When() = %v, want 0", ev.When())
+	}
+	e.Cancel(ev) // must not panic or disturb the queue
+	later := e.Schedule(At(2*time.Millisecond), 0, func() { fired++ })
+	e.Cancel(ev) // stale handle again, now that its node may be recycled
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2 (stale Cancel must not hit the new event)", fired)
+	}
+	_ = later
+}
+
+// The generation counter protects against the classic pool bug: a stale
+// handle whose node was recycled into a new event must not cancel (or report
+// the schedule of) the new event.
+func TestCancelAfterRecycle(t *testing.T) {
+	e := New()
+	first := e.Schedule(At(time.Millisecond), 0, func() {})
+	e.Run() // fires first; its node goes to the free list
+
+	secondFired := false
+	second := e.Schedule(At(2*time.Millisecond), 0, func() { secondFired = true })
+	if first.Scheduled() {
+		t.Fatal("stale handle reports Scheduled after its node was recycled")
+	}
+	e.Cancel(first) // must NOT cancel second, which reuses the node
+	if !second.Scheduled() {
+		t.Fatal("stale Cancel killed the recycled node's new event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Fatal("second event never fired")
+	}
+}
+
+// Cancelling from inside the event's own callback is inert: by the time fn
+// runs, the node is already released.
+func TestSelfCancelInsideCallback(t *testing.T) {
+	e := New()
+	var self Event
+	ran := false
+	self = e.Schedule(At(time.Millisecond), 0, func() {
+		ran = true
+		e.Cancel(self)
+	})
+	e.Schedule(At(2*time.Millisecond), 0, func() {})
+	e.Run()
+	if !ran {
+		t.Fatal("callback never ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after Run", e.Pending())
+	}
+}
+
+// A reschedule storm: repeatedly cancel-and-reschedule the same logical
+// timer, as the kernel's timer_settime path does. Only the final schedule
+// may fire, and the node pool must keep the engine's footprint flat.
+func TestRescheduleStorm(t *testing.T) {
+	e := New()
+	fired := 0
+	var timer Event
+	for i := 0; i < 10_000; i++ {
+		e.Cancel(timer)
+		timer = e.Schedule(At(time.Duration(i+1)*time.Microsecond), 1, func() { fired++ })
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("pending %d after storm, want 1", got)
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d, want exactly 1", fired)
+	}
+}
+
+// Fuzz-style interleaving: a deterministic stream of schedule / cancel /
+// step operations, checking that every event fires exactly once unless
+// cancelled, that cancelled events never fire, and that firing times are
+// monotonic.
+func TestPoolInterleavingFuzz(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		e := New()
+		r := NewRand(seed)
+		type tracked struct {
+			ev        Event
+			fired     *bool
+			cancelled bool
+		}
+		var live []tracked
+		last := Time(-1)
+		fires := 0
+		for op := 0; op < 2_000; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // schedule
+				f := new(bool)
+				ev := e.After(time.Duration(r.Intn(500))*time.Microsecond, r.Intn(3), func() {
+					if *f {
+						t.Fatal("event fired twice")
+					}
+					*f = true
+				})
+				live = append(live, tracked{ev: ev, fired: f})
+			case 2: // cancel a random outstanding handle (possibly stale)
+				if len(live) > 0 {
+					i := r.Intn(len(live))
+					if !*live[i].fired {
+						live[i].cancelled = live[i].cancelled || live[i].ev.Scheduled()
+						e.Cancel(live[i].ev)
+					}
+				}
+			case 3: // step
+				if e.Step() {
+					fires++
+					if e.Now() < last {
+						t.Fatalf("clock went backwards: %v after %v", e.Now(), last)
+					}
+					last = e.Now()
+				}
+			}
+		}
+		e.Run()
+		for i, tr := range live {
+			if tr.cancelled && *tr.fired {
+				t.Fatalf("seed %d: cancelled event %d fired", seed, i)
+			}
+			if !tr.cancelled && !*tr.fired {
+				t.Fatalf("seed %d: live event %d never fired", seed, i)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("seed %d: %d events pending after Run", seed, e.Pending())
+		}
+	}
+}
+
+// The free list actually recycles: after a warm-up, a steady-state
+// Schedule→Step cycle performs zero heap allocations.
+func TestScheduleStepZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the pool
+		e.Schedule(e.Now(), 0, fn)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(1_000, func() {
+		e.Schedule(e.Now(), 0, fn)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// Cancel must also feed the free list: cancel-heavy workloads (timer
+// re-arming) stay allocation-free once warm.
+func TestCancelRecyclesZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	var ev Event
+	for i := 0; i < 64; i++ {
+		e.Cancel(ev)
+		ev = e.Schedule(e.Now().Add(time.Second), 0, fn)
+	}
+	avg := testing.AllocsPerRun(1_000, func() {
+		e.Cancel(ev)
+		ev = e.Schedule(e.Now().Add(time.Second), 0, fn)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Cancel+Schedule allocates %.1f times per op, want 0", avg)
+	}
+}

@@ -48,7 +48,10 @@ func New(eng *engine.Engine, mach *machine.Machine) *Kernel {
 	n := mach.Topology().NumHWThreads()
 	k.cpus = make([]*cpu, n)
 	for i := range k.cpus {
-		k.cpus[i] = newCPU(machine.HWThread(i))
+		c := newCPU(machine.HWThread(i))
+		c.dispatchFn = func() { k.finishDispatch(c) }
+		c.serviceFn = func() { k.finishService(c) }
+		k.cpus[i] = c
 	}
 	return k
 }
@@ -199,7 +202,7 @@ func (k *Kernel) preempt(c *cpu) {
 	t.computeRan += done
 	k.accountRun(c, t, consumed)
 	k.eng.Cancel(t.computeDone)
-	t.computeDone = nil
+	t.computeDone = engine.Event{}
 	k.setCurrent(c, nil)
 	t.state = StateReady
 	t.dispatchOp = machine.OpContextSwitch
@@ -219,21 +222,27 @@ func (k *Kernel) scheduleDispatch(c *cpu) {
 		return
 	}
 	c.busy = true
+	c.dispatchT = t
 	cost := k.mach.Cost(t.dispatchOp, c.id)
-	k.eng.After(cost, prioDispatch, func() {
-		c.busy = false
-		// A higher-priority thread may have become ready during the
-		// switch window; honour it before running t.
-		if top := c.runq.topPriority(); top > t.prio {
-			t.dispatchOp = machine.OpContextSwitch
-			c.runq.enqueue(t, true)
-			k.scheduleDispatch(c)
-			return
-		}
-		k.setCurrent(c, t)
-		k.trace(t, TraceDispatched)
-		k.resumeOnCPU(t)
-	})
+	k.eng.After(cost, prioDispatch, c.dispatchFn)
+}
+
+// finishDispatch completes the context switch scheduled by scheduleDispatch.
+func (k *Kernel) finishDispatch(c *cpu) {
+	t := c.dispatchT
+	c.dispatchT = nil
+	c.busy = false
+	// A higher-priority thread may have become ready during the
+	// switch window; honour it before running t.
+	if top := c.runq.topPriority(); top > t.prio {
+		t.dispatchOp = machine.OpContextSwitch
+		c.runq.enqueue(t, true)
+		k.scheduleDispatch(c)
+		return
+	}
+	k.setCurrent(c, t)
+	k.trace(t, TraceDispatched)
+	k.resumeOnCPU(t)
 }
 
 // resumeOnCPU continues a thread that has just been given its CPU: either it
@@ -294,15 +303,19 @@ func (k *Kernel) startCompute(t *Thread) {
 		t.computeFactor = k.mach.ThroughputFactor(t.cpuID)
 	}
 	wall := time.Duration(float64(t.computeRemaining) * t.computeFactor)
-	t.computeDone = k.eng.After(wall, prioService, func() {
-		t.computeDone = nil
-		t.computeRan += t.computeRemaining
-		k.accountRun(k.cpu(t.cpuID), t, wall)
-		t.computeRemaining = 0
-		t.inCompute = false
-		t.state = StateRunning
-		k.resumeThread(t, replyMsg{completed: true, ran: t.computeRan})
-	})
+	t.computeWall = wall
+	t.computeDone = k.eng.After(wall, prioService, t.computeDoneFn)
+}
+
+// finishCompute completes the burst armed by startCompute.
+func (k *Kernel) finishCompute(t *Thread) {
+	t.computeDone = engine.Event{}
+	t.computeRan += t.computeRemaining
+	k.accountRun(k.cpu(t.cpuID), t, t.computeWall)
+	t.computeRemaining = 0
+	t.inCompute = false
+	t.state = StateRunning
+	k.resumeThread(t, replyMsg{completed: true, ran: t.computeRan})
 }
 
 // interruptCompute terminates the running interruptible burst of t with a
@@ -311,7 +324,7 @@ func (k *Kernel) startCompute(t *Thread) {
 // middleware's termination mechanism decides whether the mask is ever
 // restored (Table I).
 func (k *Kernel) interruptCompute(t *Thread) {
-	if t.computeDone != nil {
+	if t.computeDone.Scheduled() {
 		consumed := k.eng.Now().Sub(t.computeStart)
 		done := nominal(consumed, t.computeFactor)
 		t.computeRan += done
@@ -321,18 +334,14 @@ func (k *Kernel) interruptCompute(t *Thread) {
 		}
 		k.accountRun(k.cpu(t.cpuID), t, consumed)
 		k.eng.Cancel(t.computeDone)
-		t.computeDone = nil
+		t.computeDone = engine.Event{}
 	}
 	t.pendingAlarm = false
 	t.alarmMasked = true // handler entry blocks the signal
 	t.inCompute = false
 	t.state = StateRunning
 	cost := k.mach.Cost(machine.OpTimerInterrupt, t.cpuID)
-	k.service(t, cost, func() {
-		remaining := t.computeRemaining
-		t.computeRemaining = 0
-		k.resumeThread(t, replyMsg{completed: false, ran: t.computeRan, unran: remaining})
-	})
+	k.service(t, cost, t.interruptDoneFn)
 }
 
 // service occupies t's CPU for cost (non-preemptible) and then runs then.
@@ -342,11 +351,18 @@ func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
 		panic("kernel: service for non-current thread")
 	}
 	c.busy = true
-	k.eng.After(cost, prioService, func() {
-		c.busy = false
-		k.accountRun(c, nil, cost)
-		then()
-	})
+	c.serviceCost = cost
+	c.serviceThen = then
+	k.eng.After(cost, prioService, c.serviceFn)
+}
+
+// finishService completes the costed kernel service armed by service.
+func (k *Kernel) finishService(c *cpu) {
+	c.busy = false
+	then := c.serviceThen
+	c.serviceThen = nil
+	k.accountRun(c, nil, c.serviceCost)
+	then()
 }
 
 // nominal converts wall-clock execution into accomplished work under the

@@ -77,6 +77,16 @@ type cpu struct {
 	busy bool
 	// busyTime accumulates time spent running compute or services.
 	busyTime time.Duration
+
+	// Pre-allocated engine callbacks. At most one dispatch and one kernel
+	// service are in flight per CPU (both guarded by busy), so their
+	// parameters live in fields and the closures are built once in New —
+	// the engine's steady-state event cycle then allocates nothing.
+	dispatchT   *Thread
+	dispatchFn  func()
+	serviceCost time.Duration
+	serviceThen func()
+	serviceFn   func()
 }
 
 func newCPU(id machine.HWThread) *cpu {

@@ -108,7 +108,8 @@ type Thread struct {
 	computeRan       time.Duration
 	computeFactor    float64
 	computeStart     engine.Time
-	computeDone      *engine.Event
+	computeWall      time.Duration
+	computeDone      engine.Event
 
 	// cpuConsumed accumulates compute time across bursts (see CPUTime).
 	cpuConsumed time.Duration
@@ -121,7 +122,21 @@ type Thread struct {
 	// SIGALRM state.
 	alarmMasked  bool
 	pendingAlarm bool
-	timer        *engine.Event
+	timer        engine.Event
+
+	// Pre-allocated engine and service callbacks for the per-job hot paths
+	// (timer fire, wake-up, compute completion, alarm interrupt return,
+	// timer_settime service). Each reads its parameters from the thread's
+	// fields at fire time — safe because the thread is parked in the kernel
+	// call until the callback resumes it — so arming an event allocates no
+	// closure.
+	computeDoneFn   func()
+	alarmFireFn     func()
+	wakeFn          func()
+	interruptDoneFn func()
+	timerSetFn      func()
+	timerStopFn     func()
+	resumeOKFn      func()
 }
 
 // ID returns the thread's creation-order identifier.
@@ -170,6 +185,26 @@ func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
 		done:       make(chan struct{}),
 		dispatchOp: machine.OpContextSwitch,
 	}
+	t.computeDoneFn = func() { k.finishCompute(t) }
+	t.alarmFireFn = func() {
+		t.timer = engine.Event{}
+		k.deliverAlarm(t)
+	}
+	t.wakeFn = func() {
+		if t.state != StateSleeping {
+			return
+		}
+		t.dispatchOp = machine.OpDispatch
+		k.makeReady(t, false)
+	}
+	t.interruptDoneFn = func() {
+		remaining := t.computeRemaining
+		t.computeRemaining = 0
+		k.resumeThread(t, replyMsg{completed: false, ran: t.computeRan, unran: remaining})
+	}
+	t.timerSetFn = func() { k.finishTimerSet(t) }
+	t.timerStopFn = func() { k.finishTimerStop(t) }
+	t.resumeOKFn = func() { k.resumeThread(t, replyMsg{completed: true}) }
 	k.threads = append(k.threads, t)
 	k.mach.BindRT(t.cpuID)
 	return t, nil
@@ -321,10 +356,10 @@ func (k *Kernel) handleRequest(t *Thread) {
 		k.handleSetAlarmMask(t, req)
 	case reqChargeOp:
 		cost := k.mach.Cost(req.op, t.cpuID)
-		k.service(t, cost, func() { k.resumeThread(t, replyMsg{completed: true}) })
+		k.service(t, cost, t.resumeOKFn)
 	case reqChargeOpRemote:
 		cost := k.mach.RemoteCost(req.op, t.cpuID, req.remote)
-		k.service(t, cost, func() { k.resumeThread(t, replyMsg{completed: true}) })
+		k.service(t, cost, t.resumeOKFn)
 	case reqMutexLock:
 		k.handleMutexLock(t, req)
 	case reqMutexUnlock:
@@ -369,22 +404,14 @@ func (k *Kernel) handleSleep(t *Thread, req request) {
 	k.trace(t, TraceSleeping)
 	k.releaseCPU(t)
 	t.pendingReply = replyMsg{completed: true}
-	k.eng.Schedule(req.at, prioRelease, func() {
-		if t.state != StateSleeping {
-			return
-		}
-		t.dispatchOp = machine.OpDispatch
-		k.makeReady(t, false)
-	})
+	k.eng.Schedule(req.at, prioRelease, t.wakeFn)
 }
 
 func (k *Kernel) handleExit(t *Thread) {
 	t.state = StateExited
 	k.trace(t, TraceExited)
-	if t.timer != nil {
-		k.eng.Cancel(t.timer)
-		t.timer = nil
-	}
+	k.eng.Cancel(t.timer)
+	t.timer = engine.Event{}
 	k.unbind(t)
 	k.releaseCPU(t)
 }

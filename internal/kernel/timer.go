@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"rtseed/internal/engine"
 	"rtseed/internal/machine"
 )
 
@@ -9,34 +10,35 @@ import (
 // timer.
 func (k *Kernel) handleTimerSet(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
-	k.service(t, cost, func() {
-		if t.timer != nil {
-			k.eng.Cancel(t.timer)
-		}
-		at := req.at
-		if at < k.eng.Now() {
-			at = k.eng.Now()
-		}
-		t.timer = k.eng.Schedule(at, prioTimer, func() {
-			t.timer = nil
-			k.deliverAlarm(t)
-		})
-		k.resumeThread(t, replyMsg{completed: true})
-	})
+	k.service(t, cost, t.timerSetFn)
+}
+
+// finishTimerSet completes timer_settime after its service cost elapsed. The
+// requested expiry is read from t.req, which cannot change while t is parked
+// in the call.
+func (k *Kernel) finishTimerSet(t *Thread) {
+	k.eng.Cancel(t.timer)
+	at := t.req.at
+	if at < k.eng.Now() {
+		at = k.eng.Now()
+	}
+	t.timer = k.eng.Schedule(at, prioTimer, t.alarmFireFn)
+	k.resumeThread(t, replyMsg{completed: true})
 }
 
 // handleTimerStop disarms the timer (timer_settime with a zero value) and
 // clears any pending, undelivered SIGALRM from it.
 func (k *Kernel) handleTimerStop(t *Thread) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
-	k.service(t, cost, func() {
-		if t.timer != nil {
-			k.eng.Cancel(t.timer)
-			t.timer = nil
-		}
-		t.pendingAlarm = false
-		k.resumeThread(t, replyMsg{completed: true})
-	})
+	k.service(t, cost, t.timerStopFn)
+}
+
+// finishTimerStop completes the disarm after its service cost elapsed.
+func (k *Kernel) finishTimerStop(t *Thread) {
+	k.eng.Cancel(t.timer)
+	t.timer = engine.Event{}
+	t.pendingAlarm = false
+	k.resumeThread(t, replyMsg{completed: true})
 }
 
 // deliverAlarm raises SIGALRM for t. If t is in an interruptible compute

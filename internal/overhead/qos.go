@@ -8,6 +8,7 @@ import (
 	"rtseed/internal/engine"
 	"rtseed/internal/kernel"
 	"rtseed/internal/machine"
+	"rtseed/internal/sweep"
 	"rtseed/internal/task"
 )
 
@@ -31,69 +32,76 @@ type QoSPoint struct {
 // Every part overruns (the paper's worst case), so useful work grows with
 // the parallelism while the O(np) overheads push the decision later — the
 // knee is the "appropriate number of parallel optional parts".
-func QoSSweep(load machine.Load, policy assign.Policy, nps []int, jobs int, seed uint64) ([]QoSPoint, error) {
+//
+// The np cells are independent simulations and run concurrently on up to
+// workers goroutines (<= 0 selects GOMAXPROCS); the curve is identical for
+// any worker count.
+func QoSSweep(load machine.Load, policy assign.Policy, nps []int, jobs int, seed uint64, workers int) ([]QoSPoint, error) {
 	if len(nps) == 0 {
 		nps = NumPartsSweep()
 	}
 	if jobs <= 0 {
 		jobs = 20
 	}
-	out := make([]QoSPoint, 0, len(nps))
-	for _, np := range nps {
-		cfg := Config{
-			Load:     load,
-			Policy:   policy,
-			NumParts: np,
-			Jobs:     jobs,
-			Seed:     seed,
-		}
-		cfg.fillDefaults()
-		if err := cfg.validate(); err != nil {
-			return nil, err
-		}
-		mach, err := machine.New(cfg.Topology, cfg.Load, machine.DefaultCostModel(), cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		k := kernel.New(engine.New(), mach)
-		tk := task.Uniform("tau1", cfg.Mandatory, cfg.WindupExec, cfg.OptionalExec, np, cfg.Period)
-		cpus, err := assign.HWThreads(cfg.Topology, cfg.Policy, np)
-		if err != nil {
-			return nil, err
-		}
-		p, err := core.NewProcess(k, core.Config{
-			Task:              tk,
-			MandatoryPriority: 90,
-			MandatoryCPU:      0,
-			OptionalCPUs:      cpus,
-			OptionalDeadline:  cfg.Period - cfg.WindupBudget,
-			Jobs:              jobs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		p.Start()
-		k.Run()
+	return sweep.Map(workers, len(nps), func(i int) (QoSPoint, error) {
+		return qosCell(load, policy, nps[i], jobs, seed)
+	})
+}
 
-		var useful, latency time.Duration
-		misses := 0
-		recs := p.Records()
-		for _, rec := range recs {
-			for _, part := range rec.Parts {
-				useful += part.Executed
-			}
-			latency += rec.Finish - rec.Release
-			if !rec.Met() {
-				misses++
-			}
-		}
-		n := time.Duration(len(recs))
-		out = append(out, QoSPoint{
-			NumParts:        np,
-			UsefulWork:      useful / n,
-			DecisionLatency: latency / n,
-			DeadlineMisses:  misses,
-		})
+// qosCell measures one np operating point.
+func qosCell(load machine.Load, policy assign.Policy, np, jobs int, seed uint64) (QoSPoint, error) {
+	cfg := Config{
+		Load:     load,
+		Policy:   policy,
+		NumParts: np,
+		Jobs:     jobs,
+		Seed:     seed,
 	}
-	return out, nil
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return QoSPoint{}, err
+	}
+	mach, err := machine.New(cfg.Topology, cfg.Load, machine.DefaultCostModel(), cfg.Seed)
+	if err != nil {
+		return QoSPoint{}, err
+	}
+	k := kernel.New(engine.New(), mach)
+	tk := task.Uniform("tau1", cfg.Mandatory, cfg.WindupExec, cfg.OptionalExec, np, cfg.Period)
+	cpus, err := assign.HWThreads(cfg.Topology, cfg.Policy, np)
+	if err != nil {
+		return QoSPoint{}, err
+	}
+	p, err := core.NewProcess(k, core.Config{
+		Task:              tk,
+		MandatoryPriority: 90,
+		MandatoryCPU:      0,
+		OptionalCPUs:      cpus,
+		OptionalDeadline:  cfg.Period - cfg.WindupBudget,
+		Jobs:              jobs,
+	})
+	if err != nil {
+		return QoSPoint{}, err
+	}
+	p.Start()
+	k.Run()
+
+	var useful, latency time.Duration
+	misses := 0
+	recs := p.Records()
+	for _, rec := range recs {
+		for _, part := range rec.Parts {
+			useful += part.Executed
+		}
+		latency += rec.Finish - rec.Release
+		if !rec.Met() {
+			misses++
+		}
+	}
+	n := time.Duration(len(recs))
+	return QoSPoint{
+		NumParts:        np,
+		UsefulWork:      useful / n,
+		DecisionLatency: latency / n,
+		DeadlineMisses:  misses,
+	}, nil
 }

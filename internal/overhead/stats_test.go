@@ -94,7 +94,7 @@ func TestWriteCSV(t *testing.T) {
 // decision latency also grows (the O(np) ending overhead delays the
 // wind-up).
 func TestQoSSweepTradeoff(t *testing.T) {
-	points, err := QoSSweep(machine.CPUMemoryLoad, assign.OneByOne, []int{4, 57, 228}, 5, 1)
+	points, err := QoSSweep(machine.CPUMemoryLoad, assign.OneByOne, []int{4, 57, 228}, 5, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestQoSSweepTradeoff(t *testing.T) {
 	// Under no load the effect reverses: at np=4 parts run on otherwise
 	// idle cores at full speed, while at np=228 they share issue slots
 	// with three sibling parts and lose the overhead-shrunk window too.
-	clean, err := QoSSweep(machine.NoLoad, assign.OneByOne, []int{4, 228}, 5, 1)
+	clean, err := QoSSweep(machine.NoLoad, assign.OneByOne, []int{4, 228}, 5, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestQoSSweepTradeoff(t *testing.T) {
 }
 
 func TestQoSSweepDefaults(t *testing.T) {
-	points, err := QoSSweep(machine.NoLoad, assign.AllByAll, []int{4}, 0, 0)
+	points, err := QoSSweep(machine.NoLoad, assign.AllByAll, []int{4}, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

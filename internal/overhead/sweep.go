@@ -5,6 +5,7 @@ import (
 
 	"rtseed/internal/assign"
 	"rtseed/internal/machine"
+	"rtseed/internal/sweep"
 )
 
 // Point is one plotted point: mean overhead at a number of parallel
@@ -40,6 +41,10 @@ type SweepConfig struct {
 	Jobs int
 	// Seed for machine jitter.
 	Seed uint64
+	// Workers bounds the number of sweep cells simulated concurrently
+	// (default GOMAXPROCS). Every cell owns its engine and seed, so the
+	// figures are bit-identical for any worker count.
+	Workers int
 }
 
 func (c *SweepConfig) fillDefaults() {
@@ -61,51 +66,69 @@ func (c *SweepConfig) fillDefaults() {
 // figure's data for that load. All four overheads are measured in the same
 // runs, exactly as on the real testbed.
 func SweepLoad(cfg SweepConfig, load machine.Load) ([]FigureData, error) {
-	cfg.fillDefaults()
-	figures := make([]FigureData, 0, 4)
-	byKind := map[Kind]*FigureData{}
-	for _, kind := range Kinds() {
-		figures = append(figures, FigureData{Kind: kind, Load: load})
-		byKind[kind] = &figures[len(figures)-1]
-	}
-	for _, pol := range cfg.Policies {
-		series := map[Kind]*Series{}
-		for _, kind := range Kinds() {
-			fd := byKind[kind]
-			fd.Series = append(fd.Series, Series{Policy: pol})
-			series[kind] = &fd.Series[len(fd.Series)-1]
-		}
-		for _, np := range cfg.NumParts {
-			m, err := Run(Config{
-				Topology: cfg.Topology,
-				Load:     load,
-				Policy:   pol,
-				NumParts: np,
-				Jobs:     cfg.Jobs,
-				Seed:     cfg.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, kind := range Kinds() {
-				s := series[kind]
-				s.Points = append(s.Points, Point{NumParts: np, Mean: m.Mean(kind)})
-			}
-		}
-	}
-	return figures, nil
+	return sweepLoads(cfg, []machine.Load{load})
 }
 
 // SweepAll regenerates every subfigure of Figs. 10-13: all four overheads
 // under all three loads.
 func SweepAll(cfg SweepConfig) ([]FigureData, error) {
-	var out []FigureData
-	for _, load := range machine.Loads() {
-		figs, err := SweepLoad(cfg, load)
-		if err != nil {
-			return nil, err
+	return sweepLoads(cfg, machine.Loads())
+}
+
+// sweepLoads fans every (load, policy, np) cell out over the worker pool —
+// each cell is one deterministic overhead.Run measuring all four kinds —
+// and reassembles the figures in canonical order: loads outer, then the
+// four kinds, one series per policy, one point per np.
+func sweepLoads(cfg SweepConfig, loads []machine.Load) ([]FigureData, error) {
+	cfg.fillDefaults()
+	type cell struct {
+		load machine.Load
+		pol  assign.Policy
+		np   int
+	}
+	cells := make([]cell, 0, len(loads)*len(cfg.Policies)*len(cfg.NumParts))
+	for _, load := range loads {
+		for _, pol := range cfg.Policies {
+			for _, np := range cfg.NumParts {
+				cells = append(cells, cell{load: load, pol: pol, np: np})
+			}
 		}
-		out = append(out, figs...)
+	}
+	meas, err := sweep.Map(cfg.Workers, len(cells), func(i int) (*Measurement, error) {
+		c := cells[i]
+		return Run(Config{
+			Topology: cfg.Topology,
+			Load:     c.load,
+			Policy:   c.pol,
+			NumParts: c.np,
+			Jobs:     cfg.Jobs,
+			Seed:     cfg.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FigureData, 0, len(loads)*len(Kinds()))
+	idx := 0
+	for _, load := range loads {
+		base := len(out)
+		for _, kind := range Kinds() {
+			out = append(out, FigureData{Kind: kind, Load: load})
+		}
+		for _, pol := range cfg.Policies {
+			points := make(map[Kind][]Point, len(Kinds()))
+			for _, np := range cfg.NumParts {
+				m := meas[idx]
+				idx++
+				for _, kind := range Kinds() {
+					points[kind] = append(points[kind], Point{NumParts: np, Mean: m.Mean(kind)})
+				}
+			}
+			for ki, kind := range Kinds() {
+				out[base+ki].Series = append(out[base+ki].Series, Series{Policy: pol, Points: points[kind]})
+			}
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,89 @@
+// Package sweep runs embarrassingly-parallel design-space sweeps: every
+// experiment in the repository (the Figs. 10-13 overhead sweep, the
+// acceptance-ratio experiment, the QoS sweep) is a grid of independent,
+// deterministic simulations, each owning its own engine and seed. The
+// executor fans the cells out over a bounded worker pool and reassembles
+// results in index order, so output is identical to a sequential run
+// regardless of worker count.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map evaluates fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the results in index order. workers <= 0 selects
+// runtime.GOMAXPROCS(0). The result is bit-identical to a sequential loop:
+// cell i's value always lands in slot i, and fn must not share mutable state
+// across calls.
+//
+// On error, in-flight cells finish, unstarted cells are abandoned, and the
+// recorded error with the lowest index is returned (with workers == 1 that
+// is exactly the first error, matching a sequential loop).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Each runs fn(i) for every i in [0, n) on up to workers goroutines; it is
+// Map for cells that write their results through captured references.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%03d", i), nil }
+	seq, err := Map(1, 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 33, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("slot %d: sequential %q vs parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 100, func(i int) (int, error) {
+			if i == 17 {
+				return 0, fmt.Errorf("cell %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err %v, want wrapped boom", workers, err)
+		}
+	}
+}
+
+func TestMapErrorStopsEarly(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("always")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := calls.Load(); n > 100 {
+		t.Fatalf("%d cells ran after the first failure; the pool should stop early", n)
+	}
+}
+
+func TestMapWorkerBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := Map(3, 64, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent cells, want <= 3", p)
+	}
+}
+
+func TestEach(t *testing.T) {
+	out := make([]int, 20)
+	if err := Each(4, 20, func(i int) error { out[i] = i + 1; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+	if err := Each(4, 20, func(i int) error { return errors.New("x") }); err == nil {
+		t.Fatal("want error")
+	}
+}
