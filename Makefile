@@ -1,14 +1,43 @@
-# Tier-1 verification plus the race detector and a benchmark smoke run,
-# in one command: `make ci`.
+# Tier-1 verification plus the race detector, the invariant analyzers, and a
+# benchmark smoke run, in one command: `make ci`.
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench clean
+# Pinned external tool versions. The tools are optional locally (the targets
+# skip them when the binary is absent) but CI installs exactly these versions,
+# so local and CI runs that do have them agree. Pinned here rather than as
+# go.mod tool dependencies because the build must stay offline-capable.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-ci: vet build test test-race bench-smoke
+.PHONY: ci vet lint vuln build test test-race bench-smoke bench tools clean
+
+ci: vet lint build test test-race bench-smoke vuln
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own invariant analyzers (rtseed-vet: determinism,
+# noalloc, eventhandle) and, when installed, staticcheck. rtseed-vet findings
+# fail the build; see DESIGN.md §5 for the invariants and escape hatches.
+lint:
+	$(GO) run ./cmd/rtseed-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (make tools, or see .github/workflows/ci.yml)"; \
+	fi
+
+# vuln scans dependencies for known vulnerabilities. Advisory only: the scan
+# needs the network and the database moves independently of this repository,
+# so findings are reported but never fail the build.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck reported findings (non-fatal)"; \
+	else \
+		echo "govulncheck not installed; skipping (make tools, or see .github/workflows/ci.yml)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -27,6 +56,11 @@ bench-smoke:
 # Full measurement run (slow): one bench per table/figure of the paper.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# tools installs the pinned external analyzers (network required).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 clean:
 	$(GO) clean ./...

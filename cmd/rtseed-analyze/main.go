@@ -14,29 +14,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"rtseed/internal/analysis"
 	"rtseed/internal/partition"
 	"rtseed/internal/report"
+	"rtseed/internal/sweep"
 	"rtseed/internal/task"
 )
 
-func main() {
-	spec := flag.String("tasks", "tau1:m=250ms,w=250ms,T=1s,o=1s,np=8",
+// options is the parsed command line.
+type options struct {
+	spec       string
+	m          int
+	taskFile   string
+	accept     bool
+	acceptN    int
+	acceptSets int
+	workers    int
+}
+
+// parseFlags registers the command's flags on fs, parses args, and validates
+// the result. The flag set is injected so tests can parse without touching
+// the process-global flag.CommandLine.
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.spec, "tasks", "tau1:m=250ms,w=250ms,T=1s,o=1s,np=8",
 		"task set spec: name:m=<dur>,w=<dur>,T=<dur>[,o=<dur>,np=<int>]; ...")
-	m := flag.Int("m", 57, "number of processors (cores) for RM-US and partitioning")
-	taskFile := flag.String("taskfile", "", "load the task set from a JSON file instead of -tasks")
-	accept := flag.Bool("accept", false, "run an acceptance-ratio sweep over random task sets instead")
-	acceptN := flag.Int("accept-n", 6, "tasks per random set for -accept")
-	acceptSets := flag.Int("accept-sets", 200, "random sets per utilization point for -accept")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "utilization points evaluated in parallel for -accept (results are identical for any value)")
-	flag.Parse()
-	var err error
-	if *accept {
-		err = runAcceptance(*acceptN, *acceptSets, *workers)
+	fs.IntVar(&o.m, "m", 57, "number of processors (cores) for RM-US and partitioning")
+	fs.StringVar(&o.taskFile, "taskfile", "", "load the task set from a JSON file instead of -tasks")
+	fs.BoolVar(&o.accept, "accept", false, "run an acceptance-ratio sweep over random task sets instead")
+	fs.IntVar(&o.acceptN, "accept-n", 6, "tasks per random set for -accept")
+	fs.IntVar(&o.acceptSets, "accept-sets", 200, "random sets per utilization point for -accept")
+	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "utilization points evaluated in parallel for -accept (results are identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := sweep.ValidateWorkers(o.workers); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-analyze:", err)
+		os.Exit(2)
+	}
+	if o.accept {
+		err = runAcceptance(o.acceptN, o.acceptSets, o.workers)
 	} else {
-		err = runWithSource(*spec, *taskFile, *m)
+		err = runWithSource(o.spec, o.taskFile, o.m)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-analyze:", err)

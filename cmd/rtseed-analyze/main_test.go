@@ -1,12 +1,48 @@
 package main
 
 import (
+	"flag"
+	"io"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"rtseed/internal/task"
 )
+
+func testFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("rtseed-analyze", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), nil)
+	if err != nil {
+		t.Fatalf("parseFlags(nil) = %v", err)
+	}
+	if want := runtime.GOMAXPROCS(0); o.workers != want {
+		t.Errorf("default workers = %d, want GOMAXPROCS (%d)", o.workers, want)
+	}
+	if o.m != 57 || o.accept || o.acceptN != 6 || o.acceptSets != 200 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsNonPositiveWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-1", "-8"} {
+		_, err := parseFlags(testFlagSet(), []string{"-accept", "-workers", bad})
+		if err == nil {
+			t.Errorf("-workers %s: accepted, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "GOMAXPROCS") {
+			t.Errorf("-workers %s: error %q should point at the GOMAXPROCS default", bad, err)
+		}
+	}
+}
 
 func TestRunPaperTask(t *testing.T) {
 	if err := runWithSource("tau1:m=250ms,w=250ms,T=1s,o=1s,np=8", "", 57); err != nil {

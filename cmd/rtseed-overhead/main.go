@@ -18,28 +18,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"rtseed/internal/assign"
 	"rtseed/internal/machine"
 	"rtseed/internal/overhead"
 	"rtseed/internal/report"
+	"rtseed/internal/sweep"
 )
 
+// options is the parsed command line.
+type options struct {
+	fig     int
+	jobs    int
+	quick   bool
+	seed    uint64
+	csvPath string
+	dist    bool
+	workers int
+}
+
+// parseFlags registers the command's flags on fs, parses args, and validates
+// the result. The flag set is injected so tests can parse without touching
+// the process-global flag.CommandLine.
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.IntVar(&o.fig, "fig", 0, "figure to regenerate (10-13; 0 = all)")
+	fs.IntVar(&o.jobs, "jobs", 100, "jobs per measurement (the paper uses 100)")
+	fs.BoolVar(&o.quick, "quick", false, "reduced sweep for a fast run")
+	fs.Uint64Var(&o.seed, "seed", 0, "machine jitter seed (0 = default)")
+	fs.StringVar(&o.csvPath, "csv", "", "also write the sweep as CSV to this file")
+	fs.BoolVar(&o.dist, "dist", false, "print overhead distributions (p50/p95/p99) at np=228 instead of the sweep")
+	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "sweep cells simulated in parallel (results are identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := sweep.ValidateWorkers(o.workers); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (10-13; 0 = all)")
-	jobs := flag.Int("jobs", 100, "jobs per measurement (the paper uses 100)")
-	quick := flag.Bool("quick", false, "reduced sweep for a fast run")
-	seed := flag.Uint64("seed", 0, "machine jitter seed (0 = default)")
-	csvPath := flag.String("csv", "", "also write the sweep as CSV to this file")
-	dist := flag.Bool("dist", false, "print overhead distributions (p50/p95/p99) at np=228 instead of the sweep")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep cells simulated in parallel (results are identical for any value)")
-	flag.Parse()
-	var err error
-	if *dist {
-		err = runDistributions(*jobs, *seed)
+	o, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)
+		os.Exit(2)
+	}
+	if o.dist {
+		err = runDistributions(o.jobs, o.seed)
 	} else {
-		err = run(*fig, *jobs, *quick, *seed, *csvPath, *workers)
+		err = run(o.fig, o.jobs, o.quick, o.seed, o.csvPath, o.workers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)

@@ -1,6 +1,54 @@
 package main
 
-import "testing"
+import (
+	"flag"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func testFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("rtseed-overhead", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), nil)
+	if err != nil {
+		t.Fatalf("parseFlags(nil) = %v", err)
+	}
+	if want := runtime.GOMAXPROCS(0); o.workers != want {
+		t.Errorf("default workers = %d, want GOMAXPROCS (%d)", o.workers, want)
+	}
+	if o.fig != 0 || o.jobs != 100 || o.quick || o.dist {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsWorkersExplicit(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), []string{"-workers", "3", "-fig", "11"})
+	if err != nil {
+		t.Fatalf("parseFlags = %v", err)
+	}
+	if o.workers != 3 || o.fig != 11 {
+		t.Errorf("got workers=%d fig=%d, want 3, 11", o.workers, o.fig)
+	}
+}
+
+func TestParseFlagsRejectsNonPositiveWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-1", "-8"} {
+		_, err := parseFlags(testFlagSet(), []string{"-workers", bad})
+		if err == nil {
+			t.Errorf("-workers %s: accepted, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "GOMAXPROCS") {
+			t.Errorf("-workers %s: error %q should point at the GOMAXPROCS default", bad, err)
+		}
+	}
+}
 
 func TestRunQuickSingleFigure(t *testing.T) {
 	if err := run(13, 3, true, 0, "", 2); err != nil {

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"time"
 
 	"rtseed/internal/analysis"
@@ -23,18 +22,50 @@ import (
 	"rtseed/internal/machine"
 	"rtseed/internal/overhead"
 	"rtseed/internal/report"
+	"rtseed/internal/sweep"
 	"rtseed/internal/task"
 )
 
+// now is the wall-clock source for the report footer. Everything above the
+// footer is a deterministic function of the flags; tests substitute a fixed
+// clock here so even the footer is reproducible.
+var now = time.Now
+
+// options is the parsed command line.
+type options struct {
+	jobs    int
+	quick   bool
+	out     string
+	workers int
+}
+
+// parseFlags registers the command's flags on fs, parses args, and validates
+// the result. The flag set is injected so tests can parse without touching
+// the process-global flag.CommandLine.
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.IntVar(&o.jobs, "jobs", 100, "jobs per overhead measurement")
+	fs.BoolVar(&o.quick, "quick", false, "reduced sweeps for a fast run")
+	fs.StringVar(&o.out, "o", "", "write the report to this file (default stdout)")
+	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "sweep cells simulated in parallel (the report is identical for any value)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := sweep.ValidateWorkers(o.workers); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
 func main() {
-	jobs := flag.Int("jobs", 100, "jobs per overhead measurement")
-	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
-	out := flag.String("o", "", "write the report to this file (default stdout)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "sweep cells simulated in parallel (the report is identical for any value)")
-	flag.Parse()
+	o, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
+		os.Exit(2)
+	}
 	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
 			os.Exit(1)
@@ -42,14 +73,14 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, *jobs, *quick, *workers); err != nil {
+	if err := run(w, o.jobs, o.quick, o.workers); err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, jobs int, quick bool, workers int) error {
-	started := time.Now()
+	started := now()
 	fmt.Fprintf(w, "# RT-Seed reproduction report\n\n")
 	fmt.Fprintf(w, "Simulated Xeon Phi 3120A (57 cores x 4 HW threads); %d jobs per measurement.\n\n", jobs)
 
@@ -68,8 +99,13 @@ func run(w io.Writer, jobs int, quick bool, workers int) error {
 	if err := sectionAcceptance(w, quick, workers); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nGenerated in %v.\n", time.Since(started).Round(time.Millisecond))
+	writeFooter(w, now().Sub(started))
 	return nil
+}
+
+// writeFooter appends the elapsed-time trailer to the report.
+func writeFooter(w io.Writer, elapsed time.Duration) {
+	fmt.Fprintf(w, "\nGenerated in %v.\n", elapsed.Round(time.Millisecond))
 }
 
 func sectionFig8(w io.Writer) error {

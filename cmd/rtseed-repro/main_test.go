@@ -2,9 +2,65 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"io"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
+
+func testFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("rtseed-repro", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), nil)
+	if err != nil {
+		t.Fatalf("parseFlags(nil) = %v", err)
+	}
+	if want := runtime.GOMAXPROCS(0); o.workers != want {
+		t.Errorf("default workers = %d, want GOMAXPROCS (%d)", o.workers, want)
+	}
+	if o.jobs != 100 || o.quick || o.out != "" {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsNonPositiveWorkers(t *testing.T) {
+	for _, bad := range []string{"0", "-1", "-8"} {
+		_, err := parseFlags(testFlagSet(), []string{"-workers", bad})
+		if err == nil {
+			t.Errorf("-workers %s: accepted, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "GOMAXPROCS") {
+			t.Errorf("-workers %s: error %q should point at the GOMAXPROCS default", bad, err)
+		}
+	}
+}
+
+func TestFooterUsesInjectedClock(t *testing.T) {
+	orig := now
+	defer func() { now = orig }()
+	base := time.Unix(100, 0)
+	ticks := []time.Time{base, base.Add(1500 * time.Millisecond)}
+	now = func() time.Time {
+		tm := ticks[0]
+		if len(ticks) > 1 {
+			ticks = ticks[1:]
+		}
+		return tm
+	}
+	started := now()
+	var buf bytes.Buffer
+	writeFooter(&buf, now().Sub(started))
+	if got, want := buf.String(), "\nGenerated in 1.5s.\n"; got != want {
+		t.Errorf("footer = %q, want %q", got, want)
+	}
+}
 
 func TestRunQuickReport(t *testing.T) {
 	var buf bytes.Buffer

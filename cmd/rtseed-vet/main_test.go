@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"rtseed/internal/lint"
+)
+
+// TestRunCleanOnAnnotatedPackages is the end-to-end check that the annotated
+// hot paths pass the full suite: loading, type-checking, directive parsing,
+// and all three analyzers over the engine and kernel.
+func TestRunCleanOnAnnotatedPackages(t *testing.T) {
+	diags, err := run("../..", []string{"./internal/engine", "./internal/kernel"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestPrintJSONEmitsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := print(&buf, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty JSON output = %q, want []", got)
+	}
+}
+
+func TestPrintJSONRoundTrip(t *testing.T) {
+	in := []lint.Diagnostic{{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		File:     "x.go", Line: 3, Col: 7,
+		Message: "call to time.Now",
+	}}
+	var buf bytes.Buffer
+	if err := print(&buf, in, true); err != nil {
+		t.Fatal(err)
+	}
+	var out []lint.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(out) != 1 || out[0].Analyzer != "determinism" || out[0].Line != 3 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestPrintText(t *testing.T) {
+	in := []lint.Diagnostic{{
+		Analyzer: "noalloc",
+		Pos:      token.Position{Filename: "y.go", Line: 9, Column: 2},
+		File:     "y.go", Line: 9, Col: 2,
+		Message: "append may grow",
+	}}
+	var buf bytes.Buffer
+	if err := print(&buf, in, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "y.go:9:2: [noalloc] append may grow\n"; got != want {
+		t.Errorf("text output = %q, want %q", got, want)
+	}
+}

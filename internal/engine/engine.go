@@ -101,9 +101,11 @@ var ErrPast = errors.New("engine: event scheduled in the past")
 // ascending priority order (lower value runs first) and then in insertion
 // order. It panics if at precedes the current time: that is always a
 // simulation bug, not a recoverable condition.
+//
+//rtseed:noalloc
 func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 	if at < e.now {
-		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast))
+		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast)) //rtseed:alloc-ok cold panic path; never taken in a correct simulation
 	}
 	e.seq++
 	var n *node
@@ -112,25 +114,29 @@ func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 		e.free[len(e.free)-1] = nil
 		e.free = e.free[:len(e.free)-1]
 	} else {
-		n = &node{}
+		n = &node{} //rtseed:alloc-ok pool miss: nodes are recycled, so the steady state pays this only until the pool warms up
 	}
 	n.at = at
 	n.priority = priority
 	n.seq = e.seq
 	n.fn = fn
 	n.index = len(e.queue)
-	e.queue = append(e.queue, n)
+	e.queue = append(e.queue, n) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
 	e.siftUp(n.index)
 	return Event{n: n, gen: n.gen}
 }
 
 // After queues fn to run d after the current time.
+//
+//rtseed:noalloc
 func (e *Engine) After(d time.Duration, priority int, fn func()) Event {
 	return e.Schedule(e.now.Add(d), priority, fn)
 }
 
 // Cancel removes a pending event. Cancelling an event that already fired,
 // was already cancelled, or is the zero Event is a no-op.
+//
+//rtseed:noalloc
 func (e *Engine) Cancel(ev Event) {
 	if !ev.Scheduled() {
 		return
@@ -140,6 +146,8 @@ func (e *Engine) Cancel(ev Event) {
 
 // Step processes the next event, advancing the clock to its timestamp.
 // It reports whether an event was processed.
+//
+//rtseed:noalloc
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
@@ -175,6 +183,8 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // remove detaches the node at heap index i, restores the heap property, and
 // releases the node to the free list.
+//
+//rtseed:noalloc
 func (e *Engine) remove(i int) {
 	n := e.queue[i]
 	last := len(e.queue) - 1
@@ -192,9 +202,10 @@ func (e *Engine) remove(i int) {
 	n.index = -1
 	n.gen++ // invalidate outstanding handles before the node is recycled
 	n.fn = nil
-	e.free = append(e.free, n)
+	e.free = append(e.free, n) //rtseed:alloc-ok amortized free-list growth; capacity is reused across recycles
 }
 
+//rtseed:noalloc
 func (e *Engine) siftUp(i int) {
 	q := e.queue
 	n := q[i]
@@ -213,6 +224,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown restores the heap below i, reporting whether the node moved.
+//
+//rtseed:noalloc
 func (e *Engine) siftDown(i int) bool {
 	q := e.queue
 	n := q[i]
@@ -237,6 +250,8 @@ func (e *Engine) siftDown(i int) bool {
 }
 
 // less orders nodes by (at, priority, seq).
+//
+//rtseed:noalloc
 func less(a, b *node) bool {
 	if a.at != b.at {
 		return a.at < b.at

@@ -152,9 +152,10 @@ func (k *Kernel) Threads() []*Thread {
 	return out
 }
 
+//rtseed:noalloc
 func (k *Kernel) cpu(h machine.HWThread) *cpu {
 	if int(h) < 0 || int(h) >= len(k.cpus) {
-		panic(fmt.Sprintf("kernel: invalid hw thread %d", h))
+		panic(fmt.Sprintf("kernel: invalid hw thread %d", h)) //rtseed:alloc-ok cold panic path; never taken in a correct simulation
 	}
 	return k.cpus[h]
 }
@@ -162,6 +163,8 @@ func (k *Kernel) cpu(h machine.HWThread) *cpu {
 // makeReady places t on its CPU's run queue and triggers dispatch or
 // preemption as needed. atFront enqueues at the head of t's priority level
 // (SCHED_FIFO semantics for preempted threads).
+//
+//rtseed:noalloc
 func (k *Kernel) makeReady(t *Thread, atFront bool) {
 	c := k.cpu(t.cpuID)
 	t.state = StateReady
@@ -171,6 +174,8 @@ func (k *Kernel) makeReady(t *Thread, atFront bool) {
 }
 
 // considerCPU kicks dispatch or preemption on c after its run queue changed.
+//
+//rtseed:noalloc
 func (k *Kernel) considerCPU(c *cpu) {
 	top := c.runq.topPriority()
 	if top < 0 {
@@ -186,6 +191,8 @@ func (k *Kernel) considerCPU(c *cpu) {
 
 // preempt stops the current (computing) thread of c and requeues it at the
 // front of its priority level, then dispatches the higher-priority thread.
+//
+//rtseed:noalloc
 func (k *Kernel) preempt(c *cpu) {
 	t := c.current
 	if t == nil || t.state != StateComputing {
@@ -213,6 +220,8 @@ func (k *Kernel) preempt(c *cpu) {
 
 // scheduleDispatch begins a context switch on c: it picks the
 // highest-priority ready thread, charges the switch cost, and then runs it.
+//
+//rtseed:noalloc
 func (k *Kernel) scheduleDispatch(c *cpu) {
 	if c.busy || c.current != nil {
 		return
@@ -228,6 +237,8 @@ func (k *Kernel) scheduleDispatch(c *cpu) {
 }
 
 // finishDispatch completes the context switch scheduled by scheduleDispatch.
+//
+//rtseed:noalloc
 func (k *Kernel) finishDispatch(c *cpu) {
 	t := c.dispatchT
 	c.dispatchT = nil
@@ -248,6 +259,8 @@ func (k *Kernel) finishDispatch(c *cpu) {
 // resumeOnCPU continues a thread that has just been given its CPU: either it
 // resumes an in-progress compute burst, or it returns from the kernel call
 // it was parked in.
+//
+//rtseed:noalloc
 func (k *Kernel) resumeOnCPU(t *Thread) {
 	if t.computeRemaining > 0 || t.inCompute {
 		k.startCompute(t)
@@ -258,6 +271,8 @@ func (k *Kernel) resumeOnCPU(t *Thread) {
 
 // setCurrent installs t (or nil) as the running thread of c and updates the
 // machine occupancy used for SMT contention pricing.
+//
+//rtseed:noalloc
 func (k *Kernel) setCurrent(c *cpu, t *Thread) {
 	c.current = t
 	if t != nil {
@@ -278,6 +293,8 @@ func (k *Kernel) resumeThread(t *Thread, reply replyMsg) {
 }
 
 // startCompute begins or resumes a compute burst for the running thread t.
+//
+//rtseed:noalloc
 func (k *Kernel) startCompute(t *Thread) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {
@@ -308,6 +325,8 @@ func (k *Kernel) startCompute(t *Thread) {
 }
 
 // finishCompute completes the burst armed by startCompute.
+//
+//rtseed:noalloc
 func (k *Kernel) finishCompute(t *Thread) {
 	t.computeDone = engine.Event{}
 	t.computeRan += t.computeRemaining
@@ -323,6 +342,8 @@ func (k *Kernel) finishCompute(t *Thread) {
 // as POSIX does — SIGALRM is masked for the duration of the handler. The
 // middleware's termination mechanism decides whether the mask is ever
 // restored (Table I).
+//
+//rtseed:noalloc
 func (k *Kernel) interruptCompute(t *Thread) {
 	if t.computeDone.Scheduled() {
 		consumed := k.eng.Now().Sub(t.computeStart)
@@ -345,6 +366,8 @@ func (k *Kernel) interruptCompute(t *Thread) {
 }
 
 // service occupies t's CPU for cost (non-preemptible) and then runs then.
+//
+//rtseed:noalloc
 func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {
@@ -357,6 +380,8 @@ func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
 }
 
 // finishService completes the costed kernel service armed by service.
+//
+//rtseed:noalloc
 func (k *Kernel) finishService(c *cpu) {
 	c.busy = false
 	then := c.serviceThen
@@ -367,6 +392,8 @@ func (k *Kernel) finishService(c *cpu) {
 
 // nominal converts wall-clock execution into accomplished work under the
 // SMT throughput factor sampled at the segment's start.
+//
+//rtseed:noalloc
 func nominal(wall time.Duration, factor float64) time.Duration {
 	if factor <= 1 {
 		return wall
@@ -376,6 +403,8 @@ func nominal(wall time.Duration, factor float64) time.Duration {
 
 // handleYield implements sched_yield: the caller goes to the BACK of its
 // priority level and the CPU re-dispatches.
+//
+//rtseed:noalloc
 func (k *Kernel) handleYield(t *Thread) {
 	c := k.cpu(t.cpuID)
 	k.setCurrent(c, nil)
@@ -389,6 +418,8 @@ func (k *Kernel) handleYield(t *Thread) {
 
 // releaseCPU detaches t from its CPU (it blocked, slept, or exited) and
 // dispatches the next ready thread, if any.
+//
+//rtseed:noalloc
 func (k *Kernel) releaseCPU(t *Thread) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {

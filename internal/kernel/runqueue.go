@@ -16,6 +16,8 @@ type runQueue struct {
 
 // enqueue adds t to its priority level, at the head when atFront is set
 // (SCHED_FIFO places preempted threads back at the head of their level).
+//
+//rtseed:noalloc
 func (q *runQueue) enqueue(t *Thread, atFront bool) {
 	if t.queueNode != nil && t.queueNode.Attached() {
 		panic("kernel: thread already enqueued")
@@ -30,6 +32,8 @@ func (q *runQueue) enqueue(t *Thread, atFront bool) {
 }
 
 // pop removes and returns the highest-priority thread, or nil when empty.
+//
+//rtseed:noalloc
 func (q *runQueue) pop() *Thread {
 	for p := MaxPriority; p >= MinPriority; p-- {
 		if n := q.levels[p].PopFront(); n != nil {
@@ -42,6 +46,8 @@ func (q *runQueue) pop() *Thread {
 }
 
 // remove detaches t from the queue; no-op if it is not queued.
+//
+//rtseed:noalloc
 func (q *runQueue) remove(t *Thread) {
 	if t.queueNode == nil || !t.queueNode.Attached() {
 		return
@@ -52,6 +58,8 @@ func (q *runQueue) remove(t *Thread) {
 }
 
 // topPriority returns the highest priority with a ready thread, or -1.
+//
+//rtseed:noalloc
 func (q *runQueue) topPriority() int {
 	if q.count == 0 {
 		return -1

@@ -109,7 +109,7 @@ type Thread struct {
 	computeFactor    float64
 	computeStart     engine.Time
 	computeWall      time.Duration
-	computeDone      engine.Event
+	computeDone      engine.Event //rtseed:handle-ok cleared or re-armed on every burst transition; interruptCompute gates on Scheduled
 
 	// cpuConsumed accumulates compute time across bursts (see CPUTime).
 	cpuConsumed time.Duration
@@ -122,7 +122,7 @@ type Thread struct {
 	// SIGALRM state.
 	alarmMasked  bool
 	pendingAlarm bool
-	timer        engine.Event
+	timer        engine.Event //rtseed:handle-ok re-armed under Cancel by finishTimerSet and zeroed on disarm/exit
 
 	// Pre-allocated engine and service callbacks for the per-job hot paths
 	// (timer fire, wake-up, compute completion, alarm interrupt return,

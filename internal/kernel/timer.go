@@ -8,6 +8,8 @@ import (
 // handleTimerSet arms the thread's one-shot SIGALRM timer at an absolute
 // virtual time (timer_settime with TIMER_ABSTIME), replacing any armed
 // timer.
+//
+//rtseed:noalloc
 func (k *Kernel) handleTimerSet(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
 	k.service(t, cost, t.timerSetFn)
@@ -16,6 +18,8 @@ func (k *Kernel) handleTimerSet(t *Thread, req request) {
 // finishTimerSet completes timer_settime after its service cost elapsed. The
 // requested expiry is read from t.req, which cannot change while t is parked
 // in the call.
+//
+//rtseed:noalloc
 func (k *Kernel) finishTimerSet(t *Thread) {
 	k.eng.Cancel(t.timer)
 	at := t.req.at
@@ -28,12 +32,16 @@ func (k *Kernel) finishTimerSet(t *Thread) {
 
 // handleTimerStop disarms the timer (timer_settime with a zero value) and
 // clears any pending, undelivered SIGALRM from it.
+//
+//rtseed:noalloc
 func (k *Kernel) handleTimerStop(t *Thread) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
 	k.service(t, cost, t.timerStopFn)
 }
 
 // finishTimerStop completes the disarm after its service cost elapsed.
+//
+//rtseed:noalloc
 func (k *Kernel) finishTimerStop(t *Thread) {
 	k.eng.Cancel(t.timer)
 	t.timer = engine.Event{}
@@ -46,12 +54,16 @@ func (k *Kernel) finishTimerStop(t *Thread) {
 // otherwise the signal stays pending and is delivered when the thread next
 // enters an interruptible burst with the signal unmasked — or never, if the
 // mask is never cleared (the try/catch pathology of Table I).
+//
+//rtseed:noalloc
 func (k *Kernel) deliverAlarm(t *Thread) {
 	t.pendingAlarm = true
 	k.checkAlarm(t)
 }
 
 // checkAlarm delivers a pending SIGALRM if t is currently interruptible.
+//
+//rtseed:noalloc
 func (k *Kernel) checkAlarm(t *Thread) {
 	if !t.pendingAlarm || t.alarmMasked || !t.interruptible {
 		return

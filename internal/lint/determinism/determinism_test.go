@@ -1,0 +1,30 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/determinism"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "../testdata/src/determinism")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rtseed/internal/engine":      true,
+		"rtseed/internal/kernel":      true,
+		"rtseed/internal/rt":          true,
+		"rtseed/internal/sweep":       true,
+		"rtseed/internal/lint":        false,
+		"rtseed/internal/trading":     false,
+		"rtseed/internal/report":      false,
+		"rtseed/cmd/rtseed-overhead":  false,
+		"rtseed/internal/engineering": false, // prefix of a scoped name must not match
+	} {
+		if got := determinism.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//rtseed:noalloc
+func hot() {}
+
+func cold() {
+	_ = 1 //rtseed:alloc-ok cold path, runs once at startup
+}
+
+//rtseed:nondeterministic-ok wall clock feeds a log line
+func logged() {}
+`)
+	d := ParseDirectives(fset, files)
+	if len(d.Problems) != 0 {
+		t.Fatalf("unexpected problems: %v", d.Problems)
+	}
+	if dir := d.at("dir.go", 3, DirNoalloc); dir == nil {
+		t.Error("noalloc directive on line 3 not found")
+	}
+	dir := d.at("dir.go", 7, DirAllocOK)
+	if dir == nil {
+		t.Fatal("alloc-ok directive on line 7 not found")
+	}
+	if want := "cold path, runs once at startup"; dir.Reason != want {
+		t.Errorf("reason = %q, want %q", dir.Reason, want)
+	}
+	if d.at("dir.go", 7, DirNoalloc) != nil {
+		t.Error("alloc-ok line must not satisfy a noalloc lookup")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//rtseed:alloc-ok
+func missingReason() {}
+
+//rtseed:nope whatever
+func unknown() {}
+
+// rtseed:alloc-ok spaced comments are prose, not directives
+func prose() {}
+`)
+	d := ParseDirectives(fset, files)
+	if len(d.Problems) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(d.Problems), d.Problems)
+	}
+	if !strings.Contains(d.Problems[0].Message, "needs a reason") {
+		t.Errorf("problem 0 = %q, want missing-reason", d.Problems[0].Message)
+	}
+	if !strings.Contains(d.Problems[1].Message, "unknown directive") {
+		t.Errorf("problem 1 = %q, want unknown-directive", d.Problems[1].Message)
+	}
+}
+
+func TestFuncDirectivePlacements(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+// hot is documented.
+//
+//rtseed:noalloc
+func docAttached() {}
+
+//rtseed:noalloc
+
+func blankSeparated() {}
+
+func bare() {}
+`)
+	d := ParseDirectives(fset, files)
+	var decls []*ast.FuncDecl
+	for _, decl := range files[0].Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			decls = append(decls, fd)
+		}
+	}
+	if d.forDecl(fset, decls[0], DirNoalloc) == nil {
+		t.Error("doc-attached directive not found")
+	}
+	if d.forDecl(fset, decls[1], DirNoalloc) != nil {
+		t.Error("a blank line must detach a directive from the declaration below it")
+	}
+	if d.forDecl(fset, decls[2], DirNoalloc) != nil {
+		t.Error("bare function must not inherit a directive")
+	}
+}

@@ -1,0 +1,12 @@
+package eventhandle_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/eventhandle"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, eventhandle.Analyzer, "../testdata/src/eventhandle")
+}

@@ -1,0 +1,220 @@
+// Package lint is a self-contained static-analysis framework for the
+// repository's own invariants: determinism of the simulation packages, the
+// zero-allocation contract of functions annotated //rtseed:noalloc, and the
+// discipline around generation-counted engine.Event handles.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools
+// go/analysis (Analyzer, Pass, Reportf, analysistest-style fixtures) but is
+// built only on the standard library: packages are enumerated with
+// `go list -export -deps -json` and type-checked from source with imports
+// resolved through the build cache's export data, so the module needs no
+// third-party dependency to lint itself. See cmd/rtseed-vet for the driver
+// and DESIGN.md §5 for the annotation grammar.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -json output.
+	Name string
+	// Doc is a one-paragraph description shown by `rtseed-vet -help`.
+	Doc string
+	// AppliesTo optionally restricts the analyzer to some import paths.
+	// A nil AppliesTo means the analyzer runs on every loaded package.
+	// The driver consults it; test harnesses run the analyzer regardless.
+	AppliesTo func(importPath string) bool
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String formats the diagnostic the way `go vet` does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	Directives *Directives
+}
+
+// NewPackage type-checks the given parsed files (which must carry comments)
+// and assembles a Package. Imports are resolved through imp.
+func NewPackage(fset *token.FileSet, importPath, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		Directives: ParseDirectives(fset, files),
+	}, nil
+}
+
+// A Pass connects one Analyzer run to one Package and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Waived reports whether a finding at pos is waived by a directive of the
+// given name on the same source line or on the line immediately above it.
+func (p *Pass) Waived(pos token.Pos, name string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	return p.Pkg.Directives.at(position.Filename, position.Line, name) != nil ||
+		p.Pkg.Directives.at(position.Filename, position.Line-1, name) != nil
+}
+
+// WaivedIn is Waived extended with function-scope waivers: a directive in
+// the doc comment of the enclosing function waives every finding inside it.
+func (p *Pass) WaivedIn(decl *ast.FuncDecl, pos token.Pos, name string) bool {
+	if p.Waived(pos, name) {
+		return true
+	}
+	return decl != nil && p.FuncDirective(decl, name) != nil
+}
+
+// FuncDirective returns the directive of the given name attached to decl —
+// in its doc comment or on the line immediately above the declaration — or
+// nil if there is none.
+func (p *Pass) FuncDirective(decl *ast.FuncDecl, name string) *Directive {
+	return p.Pkg.Directives.forDecl(p.Pkg.Fset, decl, name)
+}
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and dynamic calls through variables.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo().Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.TypesInfo().Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// CalleeBuiltin resolves the builtin a call invokes (make, new, append, ...)
+// or nil if the call is not a builtin call.
+func (p *Pass) CalleeBuiltin(call *ast.CallExpr) *types.Builtin {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	b, _ := p.TypesInfo().Uses[id].(*types.Builtin)
+	return b
+}
+
+// TypesInfo returns the package's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.TypesInfo }
+
+// InspectFuncs walks every top-level declaration of every file, reporting
+// the enclosing function declaration (nil for package-level var/const/type
+// initializers) alongside each visited node.
+func (p *Pass) InspectFuncs(visit func(file *ast.File, decl *ast.FuncDecl, n ast.Node) bool) {
+	for _, file := range p.Pkg.Syntax {
+		for _, d := range file.Decls {
+			decl, _ := d.(*ast.FuncDecl)
+			ast.Inspect(d, func(n ast.Node) bool {
+				if n == nil {
+					return false
+				}
+				return visit(file, decl, n)
+			})
+		}
+	}
+}
+
+// RunAnalyzer applies a to pkg and returns its findings sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// IsInternalPkg reports whether importPath is rtseed/internal/<name> or a
+// subpackage of it, for any of the given base names.
+func IsInternalPkg(importPath string, names ...string) bool {
+	for _, name := range names {
+		prefix := "rtseed/internal/" + name
+		if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}

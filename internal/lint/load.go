@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage mirrors the subset of `go list -json` fields the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// goList runs `go list -export -deps -json` for the given patterns in dir
+// and returns the decoded package stream. -export makes the go tool compile
+// every listed package and report the build-cache path of its export data,
+// which is what lets the type checker resolve imports without installing
+// any analysis dependency.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from build-cache export data files.
+type exportImporter struct {
+	imp types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) { return e.imp.Import(path) }
+
+// newExportImporter builds a types.Importer over the export data of the
+// given listed packages.
+func newExportImporter(fset *token.FileSet, pkgs []*listPackage) types.Importer {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is it reachable from the loaded patterns?)", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{imp: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// NewImporter returns a types.Importer that resolves every package reachable
+// from the given patterns (evaluated in moduleDir) via build-cache export
+// data. Fixture harnesses use it to type-check files that live outside the
+// module proper (testdata is invisible to the go tool).
+func NewImporter(fset *token.FileSet, moduleDir string, patterns ...string) (types.Importer, error) {
+	pkgs, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return newExportImporter(fset, pkgs), nil
+}
+
+// Load enumerates the module packages matching patterns (relative to
+// moduleDir), parses their non-test files with comments, and type-checks
+// them with imports resolved through export data. Standard-library packages
+// and pure dependencies are loaded for resolution but not returned.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %v", lp.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := NewPackage(fset, lp.ImportPath, lp.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/noalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "../testdata/src/noalloc")
+}

@@ -1,0 +1,82 @@
+// Package determfix is the determinism analyzer's fixture: each flagged
+// line carries a want expectation; the clean and waived functions document
+// the accepted patterns.
+package determfix
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Flagged pattern 1: wall-clock reads.
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now`
+	return time.Since(start) // want `time\.Since`
+}
+
+// Flagged pattern 2: the process-global math/rand source.
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand`
+	return rand.Intn(n)                // want `global math/rand`
+}
+
+// Clean: a locally seeded source is reproducible.
+func seededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Flagged pattern 3: environment-dependent behavior.
+func envBranch() bool {
+	if os.Getenv("RTSEED_FAST") != "" { // want `environment`
+		return true
+	}
+	_, ok := os.LookupEnv("RTSEED_TRACE") // want `environment`
+	return ok
+}
+
+// Flagged pattern 4: map iteration feeding a result without a sort.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clean: the same loop followed by a sort of the sink.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clean: order-insensitive aggregation into another map.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Accepted escape hatch: a line-scoped waiver with a reason.
+func waivedLine() time.Time {
+	return time.Now() //rtseed:nondeterministic-ok wall clock feeds a log line, not a result
+}
+
+// Accepted escape hatch: a function-scoped waiver in the doc comment.
+//
+//rtseed:nondeterministic-ok measures real wake-up latency by design
+func waivedFunc(release time.Time) time.Duration {
+	lag := time.Since(release)
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}

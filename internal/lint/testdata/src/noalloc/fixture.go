@@ -1,0 +1,92 @@
+// Package noallocfix is the noalloc analyzer's fixture. Only functions
+// annotated //rtseed:noalloc are checked; unannotated code may allocate
+// freely.
+package noallocfix
+
+import "fmt"
+
+type item struct{ v int }
+
+// Unannotated: allocation is legal here.
+func unconstrained(n int) *item {
+	return &item{v: n}
+}
+
+// Flagged pattern 1: explicit allocators.
+//
+//rtseed:noalloc
+func hotAllocators(n int) int {
+	buf := make([]int, n) // want `make allocates`
+	p := new(item)        // want `new allocates`
+	q := &item{v: n}      // want `&composite literal`
+	s := []int{1, 2, 3}   // want `slice literal`
+	m := map[int]int{}    // want `map literal`
+	return len(buf) + p.v + q.v + s[0] + len(m)
+}
+
+// Flagged pattern 2: append growth.
+//
+//rtseed:noalloc
+func hotAppend(xs []int, n int) []int {
+	xs = append(xs, n) // want `append may grow`
+	return xs
+}
+
+// Flagged pattern 3: capturing closures.
+//
+//rtseed:noalloc
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want `closure captures n`
+	return f
+}
+
+// Flagged pattern 4: interface boxing, explicit and implicit.
+//
+//rtseed:noalloc
+func hotBoxing(n int) any {
+	var x any = n // want `boxes int`
+	y := any(x)
+	sink(n) // want `boxes int`
+	_ = y
+	return n // want `boxes int`
+}
+
+func sink(v any) { _ = v }
+
+// Flagged pattern 5: fmt and string building.
+//
+//rtseed:noalloc
+func hotFormatting(a, b string) string {
+	fmt.Println(a) // want `fmt\.Println allocates`
+	return a + b   // want `string concatenation`
+}
+
+// Flagged pattern 6: spawning goroutines.
+//
+//rtseed:noalloc
+func hotSpawn(done chan struct{}) {
+	go waiter(done) // want `go statement`
+}
+
+func waiter(done chan struct{}) { <-done }
+
+// Clean: index math, value-struct literals, channel ops, and calls through
+// pre-bound func values don't allocate.
+//
+//rtseed:noalloc
+func hotClean(xs []int, reply chan item, fn func()) int {
+	sum := 0
+	for i := range xs {
+		sum += xs[i]
+	}
+	reply <- item{v: sum}
+	fn()
+	return sum
+}
+
+// Accepted escape hatch: amortized growth waived with a reason.
+//
+//rtseed:noalloc
+func hotWaived(free []*item, n *item) []*item {
+	return append(free, n) //rtseed:alloc-ok amortized free-list growth; steady state reuses capacity
+}

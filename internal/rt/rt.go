@@ -88,6 +88,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 // Run executes the configured jobs, blocking until they finish or ctx is
 // cancelled. It returns the reports of the completed jobs (all of them
 // unless cancelled early).
+//
+//rtseed:nondeterministic-ok this runtime executes on the real clock by design; the reproducible counterpart is the simulator
 func (r *Runner) Run(ctx context.Context) ([]JobReport, error) {
 	start := time.Now()
 	reports := make([]JobReport, 0, r.cfg.Jobs)
@@ -149,6 +151,8 @@ func clamp01(v float64) float64 {
 }
 
 // sleepUntil sleeps until the absolute instant at, honouring cancellation.
+//
+//rtseed:nondeterministic-ok sleeping to an absolute wall-clock release is the package's purpose
 func sleepUntil(ctx context.Context, at time.Time) error {
 	d := time.Until(at)
 	if d <= 0 {
@@ -187,6 +191,8 @@ func SpinOptional(steps int, chunk time.Duration, work func(step int)) OptionalF
 
 // spinFor busy-loops for roughly d — optional parts in the paper's model
 // are pure CPU-bound loops that reserve no resources (§IV-D).
+//
+//rtseed:nondeterministic-ok busy-waiting on the wall clock is the modelled workload itself
 func spinFor(d time.Duration) {
 	end := time.Now().Add(d)
 	for time.Now().Before(end) {

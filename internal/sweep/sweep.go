@@ -8,10 +8,26 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// DefaultWorkers is the worker count the -workers flags default to.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ValidateWorkers rejects non-positive explicit worker counts. The sweep
+// executor itself tolerates workers <= 0 (it substitutes GOMAXPROCS), but a
+// user who passes -workers 0 asked for something that doesn't exist, and
+// silently reinterpreting it would hide the mistake.
+func ValidateWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d (omit the flag to default to GOMAXPROCS, currently %d)",
+			n, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
 
 // Map evaluates fn(i) for every i in [0, n) on up to workers goroutines and
 // returns the results in index order. workers <= 0 selects
