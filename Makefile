@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci vet lint vuln build test test-race bench-smoke bench tools clean
+.PHONY: ci vet lint vuln build test test-race bench-smoke bench bench-json tools clean
 
 ci: vet lint build test test-race bench-smoke vuln
 
@@ -56,6 +56,17 @@ bench-smoke:
 # Full measurement run (slow): one bench per table/figure of the paper.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
+# many-task scaling) and converts the stream into results/BENCH_PR3.json via
+# rtseed-benchjson, the machine-readable perf-trajectory record CI uploads as
+# an artifact.
+bench-json:
+	@mkdir -p results
+	$(GO) test -run=NONE \
+		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel' \
+		-benchmem ./... | $(GO) run ./cmd/rtseed-benchjson -o results/BENCH_PR3.json
+	@echo "wrote results/BENCH_PR3.json"
 
 # tools installs the pinned external analyzers (network required).
 tools:

@@ -1,0 +1,149 @@
+// Command rtseed-benchjson converts `go test -bench` output into a JSON
+// record, the repository's perf-trajectory format: `make bench-json` writes
+// results/BENCH_PR3.json and CI uploads it as an artifact, so queue- and
+// kernel-hot-path regressions show up as a diff instead of an anecdote.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=... -benchmem ./... | rtseed-benchjson [-o FILE]
+//
+// Lines that are not benchmark results (test status, pkg headers) are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the benchmark did not report
+	// allocations (no -benchmem and no b.ReportAllocs).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the file layout: the benchmark list plus the context lines the
+// test binary prints (goos/goarch/pkg/cpu), which make numbers comparable
+// across machines.
+type Report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// parseBench reads a `go test -bench` stream and collects every benchmark
+// result line, plus the goos/goarch/pkg/cpu context header.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && (k == "goos" || k == "goarch" || k == "pkg" || k == "cpu") {
+			// Keep the first pkg; later packages in a ./... run would
+			// overwrite it with less relevant values.
+			if _, seen := rep.Context[k]; !seen {
+				rep.Context[k] = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkName-8   123456   503.8 ns/op   32 B/op   1 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name; B/op and allocs/op are
+// optional.
+func parseLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, fmt.Errorf("rtseed-benchjson: short benchmark line %q", line)
+	}
+	res := Result{BytesPerOp: -1, AllocsPerOp: -1}
+	res.Name = f[0]
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("rtseed-benchjson: bad iteration count in %q: %v", line, err)
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, fmt.Errorf("rtseed-benchjson: bad ns/op in %q: %v", line, err)
+			}
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("rtseed-benchjson: bad B/op in %q: %v", line, err)
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("rtseed-benchjson: bad allocs/op in %q: %v", line, err)
+			}
+		}
+	}
+	if res.NsPerOp == 0 && res.Iterations == 0 {
+		return Result{}, fmt.Errorf("rtseed-benchjson: no measurements in %q", line)
+	}
+	return res, nil
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "rtseed-benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: rtseed
+cpu: AMD EPYC 7B13
+BenchmarkEngineScheduleStep-8   	 5000000	       221.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkManyTaskKernel/release/n=1024-8         	 4795105	       498.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8	 1000000	      1234 ns/op
+PASS
+ok  	rtseed	12.345s
+goos: linux
+goarch: amd64
+pkg: rtseed/internal/engine
+BenchmarkWheel-8	 2000000	       100.0 ns/op	       8 B/op	       1 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Benchmarks), 4; got != want {
+		t.Fatalf("parsed %d benchmarks, want %d", got, want)
+	}
+	// Context keeps the first pkg, not the later engine one.
+	if rep.Context["pkg"] != "rtseed" {
+		t.Errorf("context pkg = %q, want the first package", rep.Context["pkg"])
+	}
+	if rep.Context["cpu"] != "AMD EPYC 7B13" {
+		t.Errorf("context cpu = %q", rep.Context["cpu"])
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEngineScheduleStep" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 5000000 || b.NsPerOp != 221.4 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("first result = %+v", b)
+	}
+
+	sub := rep.Benchmarks[1]
+	if sub.Name != "BenchmarkManyTaskKernel/release/n=1024" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+
+	// No -benchmem columns → B/op and allocs/op report -1, not 0.
+	nomem := rep.Benchmarks[2]
+	if nomem.NsPerOp != 1234 || nomem.BytesPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Errorf("no-benchmem result = %+v", nomem)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkShort-8 123",
+		"BenchmarkBadIters-8 xx 10 ns/op",
+		"BenchmarkBadNs-8 100 zz ns/op",
+	} {
+		if _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok rtseed 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-benchmark input", len(rep.Benchmarks))
+	}
+}

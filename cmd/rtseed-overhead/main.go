@@ -22,19 +22,22 @@ import (
 	"rtseed/internal/assign"
 	"rtseed/internal/machine"
 	"rtseed/internal/overhead"
+	"rtseed/internal/prof"
 	"rtseed/internal/report"
 	"rtseed/internal/sweep"
 )
 
 // options is the parsed command line.
 type options struct {
-	fig     int
-	jobs    int
-	quick   bool
-	seed    uint64
-	csvPath string
-	dist    bool
-	workers int
+	fig        int
+	jobs       int
+	quick      bool
+	seed       uint64
+	csvPath    string
+	dist       bool
+	workers    int
+	cpuprofile string
+	memprofile string
 }
 
 // parseFlags registers the command's flags on fs, parses args, and validates
@@ -49,6 +52,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.csvPath, "csv", "", "also write the sweep as CSV to this file")
 	fs.BoolVar(&o.dist, "dist", false, "print overhead distributions (p50/p95/p99) at np=228 instead of the sweep")
 	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "sweep cells simulated in parallel (results are identical for any value)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -64,10 +69,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)
 		os.Exit(2)
 	}
+	stop, err := prof.Start(o.cpuprofile, o.memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)
+		os.Exit(1)
+	}
 	if o.dist {
 		err = runDistributions(o.jobs, o.seed)
 	} else {
 		err = run(o.fig, o.jobs, o.quick, o.seed, o.csvPath, o.workers)
+	}
+	if perr := stop(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-overhead:", err)

@@ -74,3 +74,16 @@ func TestRunDistributions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseFlagsProfilePaths(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), []string{"-cpuprofile", "cpu.prof", "-memprofile", "mem.prof"})
+	if err != nil {
+		t.Fatalf("parseFlags = %v", err)
+	}
+	if o.cpuprofile != "cpu.prof" || o.memprofile != "mem.prof" {
+		t.Errorf("profile paths = %q, %q; want cpu.prof, mem.prof", o.cpuprofile, o.memprofile)
+	}
+	if o, err = parseFlags(testFlagSet(), nil); err != nil || o.cpuprofile != "" || o.memprofile != "" {
+		t.Errorf("profiling not off by default: %+v (err %v)", o, err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"rtseed/internal/kernel"
 	"rtseed/internal/machine"
 	"rtseed/internal/overhead"
+	"rtseed/internal/prof"
 	"rtseed/internal/report"
 	"rtseed/internal/sweep"
 	"rtseed/internal/task"
@@ -33,10 +34,12 @@ var now = time.Now
 
 // options is the parsed command line.
 type options struct {
-	jobs    int
-	quick   bool
-	out     string
-	workers int
+	jobs       int
+	quick      bool
+	out        string
+	workers    int
+	cpuprofile string
+	memprofile string
 }
 
 // parseFlags registers the command's flags on fs, parses args, and validates
@@ -48,6 +51,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.BoolVar(&o.quick, "quick", false, "reduced sweeps for a fast run")
 	fs.StringVar(&o.out, "o", "", "write the report to this file (default stdout)")
 	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "sweep cells simulated in parallel (the report is identical for any value)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -73,7 +78,16 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, o.jobs, o.quick, o.workers); err != nil {
+	stop, err := prof.Start(o.cpuprofile, o.memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
+		os.Exit(1)
+	}
+	err = run(w, o.jobs, o.quick, o.workers)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-repro:", err)
 		os.Exit(1)
 	}

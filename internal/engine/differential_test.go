@@ -1,0 +1,157 @@
+package engine_test
+
+// Differential testing of the timing-wheel engine against the reference
+// min-heap in internal/engine/oracle: both are driven with identical
+// Schedule/Cancel/Step sequences and must agree on every observable — which
+// events fire, in what order, at what clock readings, with equal Pending
+// counts and handle liveness throughout. The op stream is decoded from a
+// byte string, so the same harness serves a seeded randomized test and a go
+// fuzz target.
+
+import (
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/engine/oracle"
+)
+
+// runDifferential decodes ops from data and drives both engines in lockstep.
+//
+// Encoding (one op per iteration, trailing bytes read as zero):
+//   - selector byte % 8 ∈ {0..3}: schedule. Three bytes form a 24-bit delay
+//     scaled to cover everything from same-instant ties to ~100 s — past the
+//     wheel's ~68.7 s horizon, so clamped and re-clamped placements are
+//     exercised — plus one byte for the tie-breaking priority.
+//   - 4: cancel a pseudo-randomly chosen outstanding handle (possibly
+//     already fired: both sides must treat stale handles as inert).
+//   - 5, 6: step both engines.
+//   - 7: probe invariants (Pending, Now).
+func runDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	live := engine.New()
+	ref := oracle.New()
+	var gotLive, gotRef []int
+	type handlePair struct {
+		le engine.Event
+		re oracle.Event
+	}
+	var handles []handlePair
+	nextID := 0
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for i < len(data) {
+		switch next() % 8 {
+		case 0, 1, 2, 3:
+			v := uint64(next()) | uint64(next())<<8 | uint64(next())<<16
+			d := time.Duration(v)*6000 + time.Duration(v%13)
+			prio := int(next() % 4)
+			id := nextID
+			nextID++
+			le := live.After(d, prio, func() { gotLive = append(gotLive, id) })
+			re := ref.Schedule(ref.Now().Add(d), prio, func() { gotRef = append(gotRef, id) })
+			handles = append(handles, handlePair{le, re})
+		case 4:
+			if len(handles) == 0 {
+				continue
+			}
+			j := int(next()) % len(handles)
+			if handles[j].le.Scheduled() != handles[j].re.Scheduled() {
+				t.Fatalf("op %d: handle %d liveness diverged: live=%v ref=%v",
+					i, j, handles[j].le.Scheduled(), handles[j].re.Scheduled())
+			}
+			live.Cancel(handles[j].le)
+			ref.Cancel(handles[j].re)
+		case 5, 6:
+			sl, sr := live.Step(), ref.Step()
+			if sl != sr {
+				t.Fatalf("op %d: live stepped=%v, ref stepped=%v", i, sl, sr)
+			}
+			if live.Now() != ref.Now() {
+				t.Fatalf("op %d: clocks diverged: live=%v ref=%v", i, live.Now(), ref.Now())
+			}
+		default:
+			if live.Pending() != ref.Pending() {
+				t.Fatalf("op %d: pending diverged: live=%d ref=%d", i, live.Pending(), ref.Pending())
+			}
+		}
+	}
+	for {
+		sl, sr := live.Step(), ref.Step()
+		if sl != sr {
+			t.Fatalf("drain: live stepped=%v, ref stepped=%v", sl, sr)
+		}
+		if !sl {
+			break
+		}
+		if live.Now() != ref.Now() {
+			t.Fatalf("drain: clocks diverged: live=%v ref=%v", live.Now(), ref.Now())
+		}
+	}
+	if len(gotLive) != len(gotRef) {
+		t.Fatalf("fired %d events on the wheel, %d on the heap", len(gotLive), len(gotRef))
+	}
+	for k := range gotLive {
+		if gotLive[k] != gotRef[k] {
+			t.Fatalf("firing order diverged at position %d: live fired %d, ref fired %d (live %v, ref %v)",
+				k, gotLive[k], gotRef[k], gotLive, gotRef)
+		}
+	}
+	if live.Steps() != ref.Steps() {
+		t.Fatalf("steps diverged: live=%d ref=%d", live.Steps(), ref.Steps())
+	}
+	if live.Pending() != 0 {
+		t.Fatalf("%d events pending on the wheel after drain", live.Pending())
+	}
+}
+
+// FuzzEngineVsOracle is the fuzz entry point over the differential harness.
+func FuzzEngineVsOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})                // same-instant ties
+	f.Add([]byte{0, 255, 255, 255, 1, 3, 0, 0, 0, 0, 5, 5, 5}) // horizon clamp
+	f.Add([]byte{1, 10, 0, 0, 2, 1, 10, 0, 0, 1, 4, 0, 5, 5})  // schedule/cancel/step
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runDifferential(t, data)
+	})
+}
+
+// TestEngineVsOracleRandom drives the differential harness with seeded
+// random op streams: a broad mix, a tie-heavy short-delay mix, and a
+// horizon-heavy mix that keeps events cascading from the top wheel level.
+func TestEngineVsOracleRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := engine.NewRand(seed)
+		data := make([]byte, 6000)
+		switch seed % 3 {
+		case 0: // uniform ops, full delay range
+			for i := range data {
+				data[i] = byte(r.Intn(256))
+			}
+		case 1: // short delays: dense ties within and across ticks
+			for i := 0; i+5 <= len(data); i += 5 {
+				data[i] = byte(r.Intn(8)) // mostly schedules, some cancel/step
+				data[i+1] = byte(r.Intn(4))
+				data[i+2] = 0
+				data[i+3] = 0
+				data[i+4] = byte(r.Intn(256))
+			}
+		default: // long delays: top-level slots, clamping, re-clamping
+			for i := 0; i+5 <= len(data); i += 5 {
+				data[i] = byte(r.Intn(8))
+				data[i+1] = byte(r.Intn(256))
+				data[i+2] = byte(200 + r.Intn(56))
+				data[i+3] = byte(200 + r.Intn(56))
+				data[i+4] = byte(r.Intn(256))
+			}
+		}
+		runDifferential(t, data)
+	}
+}

@@ -6,11 +6,16 @@
 // share a timestamp are ordered by priority and then by insertion sequence,
 // so a given program always produces the same schedule.
 //
-// The queue is a specialized min-heap over pooled event nodes: fired and
-// cancelled nodes return to a free list and are recycled by later Schedule
-// calls, so the steady-state Schedule→Step cycle allocates nothing. Event
-// handles are values carrying a generation counter; a handle left over from
-// a fired event is inert even after its node has been recycled.
+// The queue is a hierarchical timing wheel fronted by a small near-horizon
+// binary heap (see wheel.go): far events sit in power-of-two wheel slots and
+// cascade toward the present in O(1) amortized steps, while events at or
+// before the wheel's current tick live in the heap, which resolves the exact
+// (timestamp, priority, sequence) total order. Both structures share one
+// pool of event nodes: fired and cancelled nodes return to a free list and
+// are recycled by later Schedule calls, so the steady-state Schedule→Step
+// cycle allocates nothing. Event handles are values carrying a generation
+// counter; a handle left over from a fired event is inert even after its
+// node has been recycled.
 package engine
 
 import (
@@ -38,17 +43,38 @@ func (t Time) String() string { return time.Duration(t).String() }
 // At builds a Time from a duration since the simulation origin.
 func At(d time.Duration) Time { return Time(d) }
 
+const (
+	// idxFree marks a node that is on the free list (or was never queued).
+	idxFree = -1
+	// idxWheel marks a node linked into a timing-wheel slot. Nodes in the
+	// near-horizon heap use their non-negative heap index instead.
+	idxWheel = -2
+)
+
 // node is the pooled representation of a scheduled callback. Nodes are owned
-// by the engine: they live either in the queue or on the free list, and their
-// generation counter is bumped every time they are released, invalidating any
-// Event handles still pointing at them.
+// by the engine: they live in the near-horizon heap, in a timing-wheel slot,
+// or on the free list, and their generation counter is bumped every time they
+// are released, invalidating any Event handles still pointing at them.
+//
+// The narrow field types keep the struct at exactly one 64-byte cache line:
+// every Step touches the fired node plus the sift path, so at many-task scale
+// (hundreds of cold pending nodes) each node costs one cache miss, not two.
 type node struct {
-	at       Time
-	priority int
-	seq      uint64
-	gen      uint64
-	fn       func()
-	index    int // heap index; -1 when not queued
+	at  Time
+	seq uint64
+	gen uint64
+	fn  func()
+
+	// prev/next link the node into its wheel slot's doubly-linked list;
+	// level/slot remember where, so Cancel can unlink in O(1).
+	prev, next *node
+	// priority mirrors Schedule's priority argument; simulation priorities
+	// are single-digit engine bands and two-digit SCHED_FIFO levels.
+	priority int32
+	// index is the heap index when >= 0, idxWheel while the node hangs in a
+	// wheel slot, and idxFree when the node is released.
+	index       int32
+	level, slot int16
 }
 
 // Event is a handle to a scheduled callback, returned by Engine.Schedule so
@@ -69,17 +95,29 @@ func (e Event) When() Time {
 	return e.n.at
 }
 
-// Scheduled reports whether the event is still queued.
-func (e Event) Scheduled() bool { return e.n != nil && e.n.gen == e.gen && e.n.index >= 0 }
+// Scheduled reports whether the event is still queued (in the heap or in a
+// wheel slot).
+func (e Event) Scheduled() bool { return e.n != nil && e.n.gen == e.gen && e.n.index != idxFree }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now   Time
-	queue []*node
+	queue []*node // near-horizon min-heap over (at, priority, seq)
 	free  []*node
 	seq   uint64
 	steps uint64
+
+	// Hierarchical timing wheel; see wheel.go for the invariants.
+	curTick    uint64
+	occupied   [wheelLevels]uint64
+	slots      [wheelLevels][wheelSlots]*node
+	wheelCount int
+	// wheelMinLB is a conservative (never above the true value) cache of
+	// the smallest occupied slot base, valid while wheelCount > 0. It lets
+	// ensureMin's common case — heap top due before anything in the wheel —
+	// skip the per-level bitmap scan entirely.
+	wheelMinLB uint64
 }
 
 // New returns an empty engine with the clock at zero.
@@ -117,12 +155,14 @@ func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 		n = &node{} //rtseed:alloc-ok pool miss: nodes are recycled, so the steady state pays this only until the pool warms up
 	}
 	n.at = at
-	n.priority = priority
+	n.priority = int32(priority)
 	n.seq = e.seq
 	n.fn = fn
-	n.index = len(e.queue)
-	e.queue = append(e.queue, n) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
-	e.siftUp(n.index)
+	if tickOf(at) <= e.curTick {
+		e.heapPush(n)
+	} else {
+		e.wheelPlace(n)
+	}
 	return Event{n: n, gen: n.gen}
 }
 
@@ -141,7 +181,12 @@ func (e *Engine) Cancel(ev Event) {
 	if !ev.Scheduled() {
 		return
 	}
-	e.remove(ev.n.index)
+	if ev.n.index == idxWheel {
+		e.wheelRemove(ev.n)
+		e.release(ev.n)
+		return
+	}
+	e.remove(int(ev.n.index))
 }
 
 // Step processes the next event, advancing the clock to its timestamp.
@@ -149,11 +194,17 @@ func (e *Engine) Cancel(ev Event) {
 //
 //rtseed:noalloc
 func (e *Engine) Step() bool {
+	e.ensureMin()
 	if len(e.queue) == 0 {
 		return false
 	}
 	n := e.queue[0]
 	e.now = n.at
+	// ensureMin drained every wheel slot with a lower bound <= this tick,
+	// so advancing the wheel's cursor here skips no occupied slot.
+	if t := tickOf(n.at); t > e.curTick {
+		e.curTick = t
+	}
 	e.steps++
 	fn := n.fn
 	e.remove(0)
@@ -170,7 +221,11 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to deadline. Events scheduled after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		e.ensureMin()
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -179,7 +234,16 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + e.wheelCount }
+
+// heapPush appends n to the near-horizon heap and restores the heap order.
+//
+//rtseed:noalloc
+func (e *Engine) heapPush(n *node) {
+	n.index = int32(len(e.queue))
+	e.queue = append(e.queue, n) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
+	e.siftUp(int(n.index))
+}
 
 // remove detaches the node at heap index i, restores the heap property, and
 // releases the node to the free list.
@@ -190,7 +254,7 @@ func (e *Engine) remove(i int) {
 	last := len(e.queue) - 1
 	if i != last {
 		e.queue[i] = e.queue[last]
-		e.queue[i].index = i
+		e.queue[i].index = int32(i)
 	}
 	e.queue[last] = nil
 	e.queue = e.queue[:last]
@@ -199,7 +263,14 @@ func (e *Engine) remove(i int) {
 			e.siftUp(i)
 		}
 	}
-	n.index = -1
+	e.release(n)
+}
+
+// release invalidates outstanding handles and returns n to the free list.
+//
+//rtseed:noalloc
+func (e *Engine) release(n *node) {
+	n.index = idxFree
 	n.gen++ // invalidate outstanding handles before the node is recycled
 	n.fn = nil
 	e.free = append(e.free, n) //rtseed:alloc-ok amortized free-list growth; capacity is reused across recycles
@@ -216,11 +287,11 @@ func (e *Engine) siftUp(i int) {
 			break
 		}
 		q[i] = p
-		p.index = i
+		p.index = int32(i)
 		i = parent
 	}
 	q[i] = n
-	n.index = i
+	n.index = int32(i)
 }
 
 // siftDown restores the heap below i, reporting whether the node moved.
@@ -241,11 +312,11 @@ func (e *Engine) siftDown(i int) bool {
 			break
 		}
 		q[i] = c
-		c.index = i
+		c.index = int32(i)
 		i = child
 	}
 	q[i] = n
-	n.index = i
+	n.index = int32(i)
 	return i > start
 }
 

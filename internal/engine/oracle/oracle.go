@@ -1,0 +1,187 @@
+// Package oracle is a reference implementation of the engine's event queue:
+// a single binary min-heap over pooled event nodes ordered by (timestamp,
+// priority, insertion sequence) — the engine's documented total order, in
+// its simplest possible form.
+//
+// It exists for verification and measurement, not for production use. The
+// differential fuzz test in internal/engine drives this oracle and the
+// hierarchical timing-wheel engine with identical Schedule/Cancel/Step
+// sequences and asserts identical firing order, and
+// BenchmarkEngineWheelVsHeap measures the wheel against this heap at
+// growing event counts. The node pool and generation-counted handles are
+// kept identical to the engine's so the comparison isolates the queue
+// structure, not allocation behaviour.
+package oracle
+
+import (
+	"fmt"
+
+	"rtseed/internal/engine"
+)
+
+// node is the pooled representation of a scheduled callback.
+type node struct {
+	at       engine.Time
+	priority int
+	seq      uint64
+	gen      uint64
+	fn       func()
+	index    int // heap index; -1 when not queued
+}
+
+// Event is a handle to a scheduled callback, with the same generation
+// semantics as engine.Event.
+type Event struct {
+	n   *node
+	gen uint64
+}
+
+// Scheduled reports whether the event is still queued.
+func (e Event) Scheduled() bool { return e.n != nil && e.n.gen == e.gen && e.n.index >= 0 }
+
+// Engine is the reference min-heap event queue.
+type Engine struct {
+	now   engine.Time
+	queue []*node
+	free  []*node
+	seq   uint64
+	steps uint64
+}
+
+// New returns an empty reference engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() engine.Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule queues fn to run at instant at, with the engine's (at, priority,
+// seq) ordering. It panics if at precedes the current time.
+func (e *Engine) Schedule(at engine.Time, priority int, fn func()) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("oracle: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	var n *node
+	if len(e.free) > 0 {
+		n = e.free[len(e.free)-1]
+		e.free[len(e.free)-1] = nil
+		e.free = e.free[:len(e.free)-1]
+	} else {
+		n = &node{}
+	}
+	n.at = at
+	n.priority = priority
+	n.seq = e.seq
+	n.fn = fn
+	n.index = len(e.queue)
+	e.queue = append(e.queue, n)
+	e.siftUp(n.index)
+	return Event{n: n, gen: n.gen}
+}
+
+// Cancel removes a pending event; stale handles are a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Scheduled() {
+		return
+	}
+	e.remove(ev.n.index)
+}
+
+// Step processes the next event, advancing the clock to its timestamp.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	n := e.queue[0]
+	e.now = n.at
+	e.steps++
+	fn := n.fn
+	e.remove(0)
+	fn()
+	return true
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+func (e *Engine) remove(i int) {
+	n := e.queue[i]
+	last := len(e.queue) - 1
+	if i != last {
+		e.queue[i] = e.queue[last]
+		e.queue[i].index = i
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	n.index = -1
+	n.gen++
+	n.fn = nil
+	e.free = append(e.free, n)
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	n := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(n, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = n
+	n.index = i
+}
+
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := q[i]
+	start := i
+	half := len(q) / 2
+	for i < half {
+		child := 2*i + 1
+		if right := child + 1; right < len(q) && less(q[right], q[child]) {
+			child = right
+		}
+		c := q[child]
+		if !less(c, n) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = child
+	}
+	q[i] = n
+	n.index = i
+	return i > start
+}
+
+// less orders nodes by (at, priority, seq) — the engine's documented order.
+func less(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}

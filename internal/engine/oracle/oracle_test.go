@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+func at(d time.Duration) engine.Time { return engine.At(d) }
+
+func TestOracleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(at(30*time.Millisecond), 0, func() { got = append(got, 3) })
+	e.Schedule(at(10*time.Millisecond), 0, func() { got = append(got, 1) })
+	e.Schedule(at(10*time.Millisecond), 1, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != at(30*time.Millisecond) {
+		t.Fatalf("clock %v, want 30ms", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Fatalf("steps %d, want 3", e.Steps())
+	}
+}
+
+func TestOracleCancelAndRecycle(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(at(time.Millisecond), 0, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("event should be cancelled")
+	}
+	second := e.Schedule(at(2*time.Millisecond), 0, func() {})
+	e.Cancel(ev) // stale handle must not touch the recycled node
+	if !second.Scheduled() {
+		t.Fatal("stale Cancel killed the recycled node's event")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after Run", e.Pending())
+	}
+}
+
+func TestOracleSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(at(time.Second), 0, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(at(time.Millisecond), 0, func() {})
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 	"time"
+	"unsafe"
 )
 
 // A handle to an event that already fired must be inert: Scheduled reports
@@ -189,5 +190,13 @@ func TestCancelRecyclesZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state Cancel+Schedule allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestNodeIsOneCacheLine pins the node layout: the narrow index/level/slot
+// fields exist to keep one event node in exactly one 64-byte cache line.
+func TestNodeIsOneCacheLine(t *testing.T) {
+	if s := unsafe.Sizeof(node{}); s != 64 {
+		t.Fatalf("node size = %d bytes, want exactly one 64-byte cache line", s)
 	}
 }

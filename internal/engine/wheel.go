@@ -1,0 +1,213 @@
+package engine
+
+import "math/bits"
+
+// Hierarchical timing wheel (Varghese & Lauck), specialized for the
+// simulation engine.
+//
+// Virtual time is quantized into ticks of 2^tickShift ns. The wheel has
+// wheelLevels levels of wheelSlots slots each; level l spans 2^(wheelBits*l)
+// ticks per slot, so the whole wheel covers maxDelta ticks (~68.7 s of
+// virtual time at the default sizing). Events further out than maxDelta are
+// parked in the top level at the horizon and re-placed when they cascade —
+// their true timestamp is kept in node.at, only the slot choice is clamped.
+//
+// The wheel orders events only down to tick granularity. Exact ordering —
+// the engine's documented (timestamp, priority, sequence) total order — is
+// resolved by the near-horizon heap in engine.go: ensureMin moves every
+// wheel slot whose conservative lower bound is at or before the heap top's
+// tick into the heap (flushing level 0, cascading higher levels) before any
+// event fires, so same-tick events always meet in the heap where less()
+// breaks ties.
+//
+// Invariants:
+//
+//  1. curTick only grows, and every wheel node satisfies
+//     tickOf(n.at) > curTick at placement time (same-tick events go straight
+//     to the heap in Schedule).
+//  2. An occupied slot's base tick (the lower bound wheelNextSlot computes)
+//     is never below curTick: ensureMin processes slots in lower-bound order
+//     and Step only advances curTick to a tick that ensureMin has already
+//     drained up to.
+//  3. A placed slot index never collides with the level's current position:
+//     wheelPlace detects the full-wrap case and pushes the event one level
+//     up (or re-clamps inside the top level), so distance 0 in the rotated
+//     occupancy bitmap always means "due now", never "one full revolution
+//     away".
+//  4. Cascading strictly descends levels (or re-clamps a horizon-parked
+//     event to a strictly later top-level slot), so ensureMin terminates.
+const (
+	// tickShift sets the wheel's tick to 2^12 ns = 4.096 µs: finer than the
+	// cheapest kernel primitive (OpSigSetjmp, 2 µs, is the only sub-tick
+	// cost) so near events resolve in one or two cascades, coarse enough
+	// that level 0 alone covers a quarter millisecond.
+	tickShift = 12
+	// wheelBits is the log2 of slots per level.
+	wheelBits  = 6
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	// wheelLevels levels cover 2^(6*4) = 16.7M ticks ≈ 68.7 s of virtual
+	// time; rtseed experiment horizons are a few seconds.
+	wheelLevels = 4
+	// maxDelta is the furthest future distance, in ticks, the wheel can
+	// represent; events beyond it park at the horizon and re-clamp on
+	// cascade.
+	maxDelta = 1<<(wheelBits*wheelLevels) - 1
+)
+
+// tickOf quantizes a virtual instant to a wheel tick.
+//
+//rtseed:noalloc
+func tickOf(t Time) uint64 { return uint64(t) >> tickShift }
+
+// wheelPlace links n into the slot matching its timestamp. The caller
+// guarantees tickOf(n.at) > curTick.
+//
+//rtseed:noalloc
+func (e *Engine) wheelPlace(n *node) {
+	tick := tickOf(n.at)
+	delta := tick - e.curTick
+	if delta > maxDelta {
+		delta = maxDelta
+		tick = e.curTick + maxDelta
+	}
+	l := 0
+	for l < wheelLevels-1 && delta >= 1<<(uint(l+1)*wheelBits) {
+		l++
+	}
+	shift := uint(l) * wheelBits
+	// Full-wrap guard (invariant 3): delta < 64·2^shift still allows
+	// tick>>shift to land exactly 64 past the current position, which would
+	// alias the level's current slot. Push such events one level up — there
+	// they sit exactly one slot ahead — or, at the top level, clamp to the
+	// farthest non-aliasing slot (the event re-places itself on cascade).
+	if (tick>>shift)-(e.curTick>>shift) >= wheelSlots {
+		if l == wheelLevels-1 {
+			tick = ((e.curTick >> shift) + wheelSlots - 1) << shift
+		} else {
+			l++
+			shift += wheelBits
+		}
+	}
+	s := int((tick >> shift) & wheelMask)
+	n.index = idxWheel
+	n.level = int16(l)
+	n.slot = int16(s)
+	n.prev = nil
+	n.next = e.slots[l][s]
+	if n.next != nil {
+		n.next.prev = n
+	}
+	e.slots[l][s] = n
+	e.occupied[l] |= 1 << uint(s)
+	e.wheelCount++
+	if base := (tick >> shift) << shift; e.wheelCount == 1 || base < e.wheelMinLB {
+		e.wheelMinLB = base
+	}
+}
+
+// wheelRemove unlinks n from its slot in O(1).
+//
+//rtseed:noalloc
+func (e *Engine) wheelRemove(n *node) {
+	l, s := int(n.level), int(n.slot)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		e.slots[l][s] = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if e.slots[l][s] == nil {
+		e.occupied[l] &^= 1 << uint(s)
+	}
+	n.prev = nil
+	n.next = nil
+	e.wheelCount--
+}
+
+// wheelNextSlot returns the level and conservative lower-bound tick of the
+// next wheel slot to process: across all levels, the occupied slot whose
+// base tick is smallest (ties go to the lowest level, whose bound is exact).
+// The caller guarantees wheelCount > 0. Rotating each level's occupancy
+// bitmap by its current position turns "next occupied slot" into a single
+// trailing-zeros count.
+//
+//rtseed:noalloc
+func (e *Engine) wheelNextSlot() (level int, lb uint64) {
+	bestLevel := -1
+	var bestLB uint64
+	for l := 0; l < wheelLevels; l++ {
+		occ := e.occupied[l]
+		if occ == 0 {
+			continue
+		}
+		shift := uint(l) * wheelBits
+		cur := e.curTick >> shift
+		pos := int(cur & wheelMask)
+		rot := bits.RotateLeft64(occ, -pos)
+		d := uint64(bits.TrailingZeros64(rot))
+		slotLB := (cur + d) << shift
+		if bestLevel < 0 || slotLB < bestLB {
+			bestLevel, bestLB = l, slotLB
+		}
+	}
+	return bestLevel, bestLB
+}
+
+// ensureMin establishes the engine's ordering guarantee before a pop: after
+// it returns, the global minimum event (by the (at, priority, seq) order) is
+// at the heap top. It drains wheel slots — flushing level 0 into the heap,
+// cascading higher levels downward — until every remaining occupied slot's
+// lower bound lies strictly after the heap top's tick. Slots equal to the
+// heap top's tick are flushed too, so same-timestamp events meet in the heap
+// and resolve by priority and sequence.
+//
+// Termination: each iteration empties one slot. Flushed nodes leave the
+// wheel; cascaded nodes re-place at a strictly lower level (the processed
+// slot's base is curTick, so their remaining delta fits below — see
+// invariant 4), except horizon-parked nodes, which re-clamp to a top-level
+// slot strictly later than the heap top's tick and then fail the loop
+// condition.
+//
+//rtseed:noalloc
+func (e *Engine) ensureMin() {
+	for e.wheelCount > 0 {
+		// Fast path: wheelMinLB never exceeds the true minimum slot base,
+		// so if even it lies beyond the heap top's tick, no scan is needed.
+		if len(e.queue) > 0 && e.wheelMinLB > tickOf(e.queue[0].at) {
+			return
+		}
+		l, lb := e.wheelNextSlot()
+		e.wheelMinLB = lb // tighten the cache to the true minimum
+		if len(e.queue) > 0 && lb > tickOf(e.queue[0].at) {
+			return
+		}
+		if lb > e.curTick {
+			e.curTick = lb
+		}
+		shift := uint(l) * wheelBits
+		s := int((lb >> shift) & wheelMask)
+		head := e.slots[l][s]
+		e.slots[l][s] = nil
+		e.occupied[l] &^= 1 << uint(s)
+		for n := head; n != nil; {
+			next := n.next
+			n.prev = nil
+			n.next = nil
+			e.wheelCount--
+			// Level-1 slots flush straight into the heap rather than taking
+			// an intermediate hop through level 0: a slot there spans only 64
+			// ticks, and the heap's (at, priority, seq) order makes the
+			// placement policy unobservable, so the extra O(log heap) sift is
+			// cheaper than re-touching every node a second time.
+			if l <= 1 || tickOf(n.at) <= e.curTick {
+				e.heapPush(n)
+			} else {
+				e.wheelPlace(n)
+			}
+			n = next
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+const tickNs = 1 << tickShift
+
+// TestWheelLevelPlacement pins the slot-sizing rule: an event delta ticks
+// out lands in the lowest level whose span covers delta.
+func TestWheelLevelPlacement(t *testing.T) {
+	cases := []struct {
+		ticks uint64
+		level int16
+	}{
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{4095, 1}, // full-wrap guard bumps this only when curTick%64 != 0
+		{4096, 2},
+		{1 << 18, 3},
+		{maxDelta, 3},
+	}
+	for _, c := range cases {
+		e := New()
+		ev := e.Schedule(Time(c.ticks*tickNs), 0, func() {})
+		if ev.n.index != idxWheel {
+			t.Fatalf("delta %d ticks: event not in wheel (index %d)", c.ticks, ev.n.index)
+		}
+		if ev.n.level != c.level {
+			t.Fatalf("delta %d ticks: level %d, want %d", c.ticks, ev.n.level, c.level)
+		}
+	}
+	// Same-tick events bypass the wheel entirely.
+	e := New()
+	ev := e.Schedule(Time(tickNs-1), 0, func() {})
+	if ev.n.index < 0 {
+		t.Fatalf("same-tick event not in the heap (index %d)", ev.n.index)
+	}
+}
+
+// TestWheelFullWrapGuard forces the slot-aliasing corner: with the cursor
+// mid-slot at a level, a delta just under the level's span lands exactly one
+// revolution ahead and must be pushed up a level instead of aliasing the
+// current position (which would make it look due immediately).
+func TestWheelFullWrapGuard(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(Time(1*tickNs), 0, func() { fired++ })
+	if !e.Step() || e.curTick != 1 {
+		t.Fatalf("setup: curTick = %d, want 1", e.curTick)
+	}
+	// delta = 4095 ticks from curTick 1: (1+4095)>>6 - 1>>6 = 64 — a full
+	// level-1 revolution. The guard must place it at level 2.
+	ev := e.Schedule(Time((1+4095)*tickNs), 0, func() { fired++ })
+	if ev.n.level != 2 {
+		t.Fatalf("wrapped event at level %d, want 2", ev.n.level)
+	}
+	// It must still fire at its exact timestamp, after a nearer event.
+	e.Schedule(Time(100*tickNs), 0, func() { fired++ })
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	if e.Now() != Time((1+4095)*tickNs) {
+		t.Fatalf("clock %v after Run, want the wrapped event's timestamp", e.Now())
+	}
+}
+
+// TestWheelHorizonClamp parks an event far past the wheel's span and checks
+// it survives the cascade re-clamps with its exact timestamp intact.
+func TestWheelHorizonClamp(t *testing.T) {
+	e := New()
+	far := Time(3 * (maxDelta + 1) * tickNs) // ~3 revolutions past the horizon
+	var order []int
+	e.Schedule(far, 0, func() { order = append(order, 2) })
+	e.Schedule(far-1, 0, func() { order = append(order, 1) }) // 1ns earlier
+	e.Schedule(Time(time.Second), 0, func() { order = append(order, 0) })
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("firing order %v, want [0 1 2]", order)
+	}
+	if e.Now() != far {
+		t.Fatalf("clock %v, want %v", e.Now(), far)
+	}
+}
+
+// TestWheelSameTickTieBreak crowds one wheel tick with events at distinct
+// nanosecond offsets, equal timestamps with distinct priorities, and equal
+// (timestamp, priority) pairs: the flush into the near-horizon heap must
+// resolve the full (at, priority, seq) order.
+func TestWheelSameTickTieBreak(t *testing.T) {
+	e := New()
+	base := Time(1000 * tickNs)
+	var order []int
+	e.Schedule(base+5, 1, func() { order = append(order, 3) }) // same at, higher prio value
+	e.Schedule(base+5, 0, func() { order = append(order, 1) }) // seq tie-break with next
+	e.Schedule(base+5, 0, func() { order = append(order, 2) })
+	e.Schedule(base+9, 0, func() { order = append(order, 4) })
+	e.Schedule(base+1, 3, func() { order = append(order, 0) })
+	e.Run()
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if order[i] != want {
+			t.Fatalf("firing order %v, want [0 1 2 3 4]", order)
+		}
+	}
+}
+
+// TestWheelCancel unlinks events straight out of wheel slots: the slot
+// bitmap must clear when the slot empties, Pending must count both
+// structures, and cancelled events must never fire.
+func TestWheelCancel(t *testing.T) {
+	e := New()
+	fired := 0
+	a := e.Schedule(Time(50*tickNs), 0, func() { fired++ })
+	b := e.Schedule(Time(50*tickNs)+1, 0, func() { fired++ }) // same level-0 slot
+	c := e.Schedule(Time(30*tickNs), 0, func() { fired++ })
+	if e.Pending() != 3 {
+		t.Fatalf("pending %d, want 3", e.Pending())
+	}
+	e.Cancel(a)
+	if a.Scheduled() || !b.Scheduled() {
+		t.Fatal("cancel hit the wrong node in the slot list")
+	}
+	e.Cancel(b)
+	if e.occupied[0] == 0 {
+		t.Fatal("slot bitmap lost c's slot")
+	}
+	e.Cancel(c)
+	if e.occupied[0] != 0 || e.wheelCount != 0 {
+		t.Fatalf("wheel not empty after cancels: occupied=%b count=%d", e.occupied[0], e.wheelCount)
+	}
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("%d cancelled events fired", fired)
+	}
+	// The cancelled nodes are recycled through the pool.
+	if len(e.free) != 3 {
+		t.Fatalf("free list has %d nodes, want 3", len(e.free))
+	}
+}
+
+// TestWheelRunUntil stops the clock mid-wheel: due events fire, the rest
+// stay parked, and scheduling relative to the advanced clock stays correct.
+func TestWheelRunUntil(t *testing.T) {
+	e := New()
+	var fired []int
+	e.Schedule(Time(10*time.Millisecond), 0, func() { fired = append(fired, 0) })
+	e.Schedule(Time(30*time.Millisecond), 0, func() { fired = append(fired, 1) })
+	e.RunUntil(Time(20 * time.Millisecond))
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Fatalf("fired %v before the deadline, want [0]", fired)
+	}
+	if e.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("clock %v, want 20ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	e.Schedule(e.Now().Add(time.Millisecond), 0, func() { fired = append(fired, 2) })
+	e.Run()
+	if len(fired) != 3 || fired[1] != 2 || fired[2] != 1 {
+		t.Fatalf("final order %v, want [0 2 1]", fired)
+	}
+}
+
+// TestWheelFarScheduleZeroAlloc extends the pool guarantee to the wheel
+// path: a warm cancel/re-schedule cycle against far-future slots allocates
+// nothing.
+func TestWheelFarScheduleZeroAlloc(t *testing.T) {
+	e := New()
+	fn := func() {}
+	var ev Event
+	for i := 0; i < 64; i++ {
+		e.Cancel(ev)
+		ev = e.Schedule(e.Now().Add(time.Duration(1+i)*time.Second), 0, fn)
+	}
+	avg := testing.AllocsPerRun(1_000, func() {
+		e.Cancel(ev)
+		ev = e.Schedule(e.Now().Add(5*time.Second), 0, fn)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state wheel Cancel+Schedule allocates %.1f times per op, want 0", avg)
+	}
+}

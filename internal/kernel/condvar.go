@@ -30,7 +30,7 @@ func (k *Kernel) handleCondWait(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpCondWait, t.cpuID)
 	k.service(t, cost, func() {
 		t.state = StateBlocked
-		t.cvNode = req.cv.waiters.PushBack(t)
+		req.cv.waiters.PushBackNode(t.cvNode)
 		k.trace(t, TraceBlocked)
 		t.pendingReply = replyMsg{completed: true}
 		k.releaseCPU(t)
@@ -72,7 +72,6 @@ func (k *Kernel) wakeOne(cv *CondVar) {
 		return
 	}
 	w := n.Value
-	w.cvNode = nil
 	w.dispatchOp = machine.OpContextSwitch
 	k.makeReady(w, false)
 }

@@ -155,9 +155,13 @@ func (k *Kernel) Threads() []*Thread {
 //rtseed:noalloc
 func (k *Kernel) cpu(h machine.HWThread) *cpu {
 	if int(h) < 0 || int(h) >= len(k.cpus) {
-		panic(fmt.Sprintf("kernel: invalid hw thread %d", h)) //rtseed:alloc-ok cold panic path; never taken in a correct simulation
+		badHWThread(h) // cold path split out so cpu() stays inlinable
 	}
 	return k.cpus[h]
+}
+
+func badHWThread(h machine.HWThread) {
+	panic(fmt.Sprintf("kernel: invalid hw thread %d", h))
 }
 
 // makeReady places t on its CPU's run queue and triggers dispatch or

@@ -56,7 +56,7 @@ func (k *Kernel) handleMutexLock(t *Thread, req request) {
 		panic("kernel: recursive mutex lock")
 	}
 	t.state = StateBlocked
-	t.cvNode = m.waiters.PushBack(t)
+	m.waiters.PushBackNode(t.cvNode)
 	k.trace(t, TraceBlocked)
 	t.pendingReply = replyMsg{completed: true}
 	k.boostOwner(m)
@@ -73,7 +73,6 @@ func (k *Kernel) handleMutexUnlock(t *Thread, req request) {
 	}
 	if n := m.waiters.PopFront(); n != nil {
 		w := n.Value
-		w.cvNode = nil
 		m.owner = w
 		w.dispatchOp = machine.OpContextSwitch
 		k.makeReady(w, false)

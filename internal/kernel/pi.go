@@ -54,7 +54,7 @@ func (k *Kernel) setEffectivePriority(t *Thread, prio int) {
 		return
 	}
 	c := k.cpu(t.cpuID)
-	queued := t.queueNode != nil && t.queueNode.Attached()
+	queued := t.queued
 	if queued {
 		c.runq.remove(t)
 	}

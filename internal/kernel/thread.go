@@ -89,9 +89,14 @@ type Thread struct {
 	// being woken from a blocking call.
 	pendingReply replyMsg
 
-	// queueNode links the thread into a run-queue priority level.
-	queueNode *list.Node[*Thread]
-	// cvNode links the thread into a condition variable's waiter list.
+	// qnext/qprev link the thread into its run-queue priority level, and
+	// queued marks membership. A thread is in at most one ready queue, so
+	// the links live in the Thread itself: enqueueing touches no extra
+	// cache line and allocates nothing.
+	qnext, qprev *Thread
+	queued       bool
+	// cvNode links the thread into a mutex or condition variable waiter
+	// list; it is pre-allocated in NewThread and reused.
 	cvNode *list.Node[*Thread]
 
 	// dispatchOp prices the next dispatch of this thread: OpDispatch for a
@@ -185,6 +190,11 @@ func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
 		done:       make(chan struct{}),
 		dispatchOp: machine.OpContextSwitch,
 	}
+	// The thread owns its waiter-list node for its whole lifetime:
+	// enqueueing links this pre-allocated node, so waiter lists never
+	// allocate on the scheduling path. (The ready queues use the intrusive
+	// qnext/qprev links and need no node at all.)
+	t.cvNode = &list.Node[*Thread]{Value: t}
 	t.computeDoneFn = func() { k.finishCompute(t) }
 	t.alarmFireFn = func() {
 		t.timer = engine.Event{}

@@ -3,7 +3,10 @@
 // freely.
 package noallocfix
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 type item struct{ v int }
 
@@ -82,6 +85,23 @@ func hotClean(xs []int, reply chan item, fn func()) int {
 	reply <- item{v: sum}
 	fn()
 	return sum
+}
+
+// Clean: the bitmap-runqueue idiom. Word indexing, mask updates, and the
+// math/bits find-first-set intrinsics (Len64, LeadingZeros64,
+// TrailingZeros64, RotateLeft64) compile to single instructions and must
+// never be flagged — the O(1) scheduling core is built from exactly these.
+//
+//rtseed:noalloc
+func hotBitmap(bitmap *[2]uint64, prio uint) int {
+	bitmap[prio>>6] |= 1 << (prio & 63)
+	if w := bitmap[1]; w != 0 {
+		return bits.Len64(w) + 63
+	}
+	w := bitmap[0]
+	bitmap[0] &^= 1 << uint(bits.Len64(w)-1)
+	rot := bits.RotateLeft64(w, -int(prio&63))
+	return 63 - bits.LeadingZeros64(w) + bits.TrailingZeros64(rot)
 }
 
 // Accepted escape hatch: amortized growth waived with a reason.

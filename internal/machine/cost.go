@@ -209,6 +209,22 @@ type Machine struct {
 	// hardware thread that has no real-time thread bound to it, whether or
 	// not the bound thread happens to be running at this instant.
 	rtBound []int
+
+	// Pricing tables flattened from the model's maps at construction time:
+	// Cost and RemoteCost sit on the simulated kernel's per-event path, and
+	// the load condition is fixed for the machine's lifetime, so the map
+	// lookups (Base[op], ClassFactor[load][class], SiblingWeightLoad[load])
+	// reduce to array indexing. The factors are kept separate — not
+	// pre-multiplied — so the arithmetic matches the map-based formula
+	// bit-for-bit and simulation outputs stay byte-identical.
+	baseF        [OpEndOptional + 1]float64
+	classF       [OpEndOptional + 1]float64
+	loadSiblingW float64
+	// smtF caches the SMT contention factor per hardware thread. It only
+	// changes when a real-time thread binds or unbinds (thread creation and
+	// exit), so BindRT/UnbindRT recompute the affected core's entries and
+	// the per-event Cost path reduces to an array read.
+	smtF []float64
 }
 
 // New builds a machine. It returns an error if the topology or cost model is
@@ -223,14 +239,24 @@ func New(topo Topology, load Load, model CostModel, seed uint64) (*Machine, erro
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		topo:      topo,
 		load:      load,
 		model:     model,
 		rng:       engine.NewRand(seed),
 		occupants: make([]Occupant, topo.NumHWThreads()),
 		rtBound:   make([]int, topo.NumHWThreads()),
-	}, nil
+	}
+	for op := OpDispatch; op <= OpEndOptional; op++ {
+		m.baseF[op] = float64(model.Base[op])
+		m.classF[op] = model.ClassFactor[load][classOf(op)]
+	}
+	m.loadSiblingW = model.SiblingWeightLoad[load]
+	m.smtF = make([]float64, topo.NumHWThreads())
+	for c := 0; c < topo.Cores; c++ {
+		m.recomputeSMT(c)
+	}
+	return m, nil
 }
 
 // MustNew is New for known-good static configuration; it panics on error.
@@ -282,6 +308,7 @@ func (m *Machine) BindRT(h HWThread) {
 		panic(fmt.Sprintf("machine: BindRT on invalid hw thread %d", h))
 	}
 	m.rtBound[h]++
+	m.recomputeSMT(m.topo.CoreOf(h))
 }
 
 // UnbindRT undoes one BindRT (thread exit).
@@ -290,6 +317,7 @@ func (m *Machine) UnbindRT(h HWThread) {
 		panic(fmt.Sprintf("machine: UnbindRT imbalance on hw thread %d", h))
 	}
 	m.rtBound[h]--
+	m.recomputeSMT(m.topo.CoreOf(h))
 }
 
 // BoundRT returns the number of real-time threads pinned to h.
@@ -302,20 +330,31 @@ func (m *Machine) BoundRT(h HWThread) int { return m.rtBound[h] }
 // One-by-One policy leaves three background siblings per core next to each
 // optional part, while All-by-All displaces the background entirely from
 // the cores it uses.
+//
+//rtseed:noalloc
 func (m *Machine) smtFactor(h HWThread) float64 {
-	f := 1.0
-	loadW := m.model.SiblingWeightLoad[m.load]
-	for _, s := range m.topo.SiblingsOf(h) {
-		if s == h {
-			continue
+	return m.smtF[h]
+}
+
+// recomputeSMT refreshes the cached SMT factor of every hardware thread on
+// core after a binding change there.
+func (m *Machine) recomputeSMT(core int) {
+	for s := 0; s < m.topo.ThreadsPerCore; s++ {
+		h := m.topo.HWThreadOf(core, s)
+		f := 1.0
+		for sb := 0; sb < m.topo.ThreadsPerCore; sb++ {
+			sib := m.topo.HWThreadOf(core, sb)
+			if sib == h {
+				continue
+			}
+			if m.rtBound[sib] > 0 {
+				f += m.model.SiblingWeightRT
+			} else {
+				f += m.loadSiblingW
+			}
 		}
-		if m.rtBound[s] > 0 {
-			f += m.model.SiblingWeightRT
-		} else {
-			f += loadW
-		}
+		m.smtF[h] = f
 	}
-	return f
 }
 
 // trafficFactor prices interconnect traffic for context switches. Under no
@@ -343,10 +382,13 @@ func (m *Machine) ThroughputFactor(h HWThread) float64 {
 }
 
 // Cost prices op executed on hardware thread h under the current load and
-// occupancy, including deterministic jitter.
+// occupancy, including deterministic jitter. It panics if op is not one of
+// the model's primitives.
+//
+//rtseed:noalloc
 func (m *Machine) Cost(op Op, h HWThread) time.Duration {
-	base := float64(m.model.Base[op])
-	f := m.model.ClassFactor[m.load][classOf(op)]
+	base := m.baseF[op]
+	f := m.classF[op]
 	f *= m.smtFactor(h)
 	if op == OpContextSwitch {
 		f *= m.trafficFactor()
@@ -360,11 +402,13 @@ func (m *Machine) Cost(op Op, h HWThread) time.Duration {
 // a remote cond_signal is dominated by the signal path's branch-heavy code,
 // not by bulk memory traffic (the paper's Fig. 12 explanation), while a
 // remote memory-class op pays polluted-cache transfer prices.
+//
+//rtseed:noalloc
 func (m *Machine) RemoteCost(op Op, from, to HWThread) time.Duration {
 	c := m.Cost(op, from)
 	if m.topo.CoreOf(from) != m.topo.CoreOf(to) {
-		remote := float64(m.model.Base[OpRemoteWake])
-		remote *= m.model.ClassFactor[m.load][classOf(op)]
+		remote := m.baseF[OpRemoteWake]
+		remote *= m.classF[op]
 		remote *= m.smtFactor(to)
 		c += m.jitter(time.Duration(remote))
 	}

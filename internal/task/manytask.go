@@ -1,0 +1,39 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RMBandPriorities assigns rate-monotonic priorities within the inclusive
+// band [lo, hi]: shorter periods receive larger values (higher SCHED_FIFO
+// priority), declaration order breaks ties. When the set has more tasks than
+// the band has levels, neighbouring ranks share a level — monotonicity is
+// preserved (a strictly shorter period never gets a lower priority), which is
+// what many-task deployments on the 99-level SCHED_FIFO substrate do in
+// practice.
+//
+// The returned slice is parallel to s.Tasks.
+func RMBandPriorities(s *Set, lo, hi int) ([]int, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, ErrEmptyTaskSet
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("task: empty priority band [%d, %d]", lo, hi)
+	}
+	n := s.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Tasks[order[a]].Period < s.Tasks[order[b]].Period
+	})
+	band := hi - lo + 1
+	out := make([]int, n)
+	for rank, idx := range order {
+		// rank 0 (shortest period) -> hi; rank n-1 -> a value >= lo.
+		out[idx] = hi - rank*band/n
+	}
+	return out, nil
+}

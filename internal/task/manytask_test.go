@@ -1,0 +1,77 @@
+package task
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRMBandPrioritiesDistinctLevels(t *testing.T) {
+	set := MustNewSet(
+		Uniform("slow", time.Millisecond, time.Millisecond, 0, 0, 100*time.Millisecond),
+		Uniform("fast", time.Millisecond, time.Millisecond, 0, 0, 10*time.Millisecond),
+		Uniform("mid", time.Millisecond, time.Millisecond, 0, 0, 50*time.Millisecond),
+	)
+	prios, err := RMBandPriorities(set, 50, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fast > mid > slow, fastest at the top of the band.
+	if prios[1] != 98 {
+		t.Fatalf("fastest task priority %d, want 98", prios[1])
+	}
+	if !(prios[1] > prios[2] && prios[2] > prios[0]) {
+		t.Fatalf("priorities %v not RM-ordered", prios)
+	}
+	for _, p := range prios {
+		if p < 50 || p > 98 {
+			t.Fatalf("priority %d outside band [50, 98]", p)
+		}
+	}
+}
+
+func TestRMBandPrioritiesSharedLevels(t *testing.T) {
+	// 1024 tasks into a 49-level band: levels are shared, monotonicity holds.
+	gen, err := Generate(GenConfig{N: 1024, TotalUtilization: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prios, err := RMBandPriorities(gen, 50, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range prios {
+		if pi < 50 || pi > 98 {
+			t.Fatalf("task %d priority %d outside band", i, pi)
+		}
+		for j, pj := range prios {
+			if gen.Tasks[i].Period < gen.Tasks[j].Period && pi < pj {
+				t.Fatalf("task %d (T=%v, prio %d) outranked by task %d (T=%v, prio %d)",
+					i, gen.Tasks[i].Period, pi, j, gen.Tasks[j].Period, pj)
+			}
+		}
+	}
+}
+
+func TestRMBandPrioritiesTieBreakIsDeclarationOrder(t *testing.T) {
+	set := MustNewSet(
+		Uniform("a", time.Millisecond, time.Millisecond, 0, 0, 10*time.Millisecond),
+		Uniform("b", time.Millisecond, time.Millisecond, 0, 0, 10*time.Millisecond),
+	)
+	prios, err := RMBandPriorities(set, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prios[0] < prios[1] {
+		t.Fatalf("equal periods must keep declaration order, got %v", prios)
+	}
+}
+
+func TestRMBandPrioritiesErrors(t *testing.T) {
+	if _, err := RMBandPriorities(nil, 1, 99); err == nil {
+		t.Fatal("nil set must error")
+	}
+	set := MustNewSet(Uniform("a", 1, 1, 0, 0, time.Millisecond))
+	if _, err := RMBandPriorities(set, 10, 9); err == nil {
+		t.Fatal("empty band must error")
+	}
+}

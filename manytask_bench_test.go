@@ -1,0 +1,143 @@
+package rtseed
+
+// Many-task scale benchmarks: the per-event cost of the scheduling core as
+// the task count grows. The paper evaluates one task on 228 hardware
+// threads; these benches sweep n ∈ {1, 16, 128, 1024} tasks on the same
+// simulated Xeon Phi to prove the O(1) core — the bitmap run queues and the
+// hierarchical timing-wheel engine — keeps ns/event near-flat where the
+// old 99-level scan + global binary heap grew with n.
+//
+// BENCH_PR3.json (make bench-json) records these alongside the pre-swap
+// baseline; see README "Many-task benchmarks".
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/engine/oracle"
+	"rtseed/internal/kernel"
+	"rtseed/internal/machine"
+	"rtseed/internal/sched"
+)
+
+// manyTaskNs is the task-count sweep shared by the scale benchmarks.
+var manyTaskNs = []int{1, 16, 128, 1024}
+
+// BenchmarkManyTaskKernel measures the kernel's steady-state cost per
+// engine event with n periodic tasks pinned round-robin over all 228
+// hardware threads of the simulated Xeon Phi 3120A. Each op is one event
+// (timer fire, dispatch, compute completion, ...); the acceptance bar is
+// near-flat ns/op as n grows, at 0 allocs/op.
+//
+// The release variant runs sleep-only task bodies, so every event is
+// scheduling-core work — timer arm and fire, dispatch, requeue — and the
+// queue-structure swap dominates the number. The compute variant runs the
+// full mandatory+wind-up job bodies; its per-event cost includes the
+// goroutine handshake that models host code execution, a fixed cost both
+// queue implementations share.
+func BenchmarkManyTaskKernel(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		releaseOnly bool
+	}{{"release", true}, {"compute", false}} {
+		mode := mode
+		for _, n := range manyTaskNs {
+			n := n
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
+				mach := machine.MustNew(machine.XeonPhi3120A(), machine.NoLoad, noJitter(), 1)
+				e := engine.New()
+				k := kernel.New(e, mach)
+				sys, err := sched.NewManyTask(k, sched.ManyTaskConfig{
+					N:                  n,
+					Seed:               0xbeef,
+					UtilizationPerTask: 0.15,
+					ReleaseOnly:        mode.releaseOnly,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.Start()
+				// Reach steady state and warm the engine's node pool: every
+				// task completes several jobs before measurement starts.
+				for i := 0; i < 64*n; i++ {
+					if !e.Step() {
+						b.Fatal("engine ran dry during warm-up")
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !e.Step() {
+						b.Fatal("engine ran dry")
+					}
+				}
+				b.StopTimer()
+				k.Shutdown()
+				if sys.Jobs() == 0 && n <= b.N {
+					b.Fatal("no jobs completed")
+				}
+			})
+		}
+	}
+}
+
+// wheelVsHeapPeriod spreads n concurrent timers over distinct periods so
+// the queue stays n deep while every step fires and re-arms one timer.
+func wheelVsHeapPeriod(i int) time.Duration {
+	return time.Duration(i*7919%1000+1) * time.Microsecond
+}
+
+// BenchmarkEngineWheelVsHeap compares the live engine (hierarchical timing
+// wheel fronted by a near-horizon heap) against the reference single
+// min-heap in internal/engine/oracle on the same workload: n outstanding
+// periodic timers, one fire+re-arm per op. The heap's O(log n) sift shows
+// up as ns/op growth with n; the wheel stays near-flat.
+func BenchmarkEngineWheelVsHeap(b *testing.B) {
+	for _, n := range manyTaskNs {
+		n := n
+		b.Run(fmt.Sprintf("wheel/n=%d", n), func(b *testing.B) {
+			e := engine.New()
+			var tick func()
+			slot := 0
+			tick = func() {
+				i := slot
+				slot = (slot + 1) % n
+				e.After(wheelVsHeapPeriod(i), 0, tick)
+			}
+			for i := 0; i < n; i++ {
+				e.Schedule(engine.At(wheelVsHeapPeriod(i)), 0, tick)
+			}
+			for i := 0; i < 4*n; i++ { // warm the pool and the wheel
+				e.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+		b.Run(fmt.Sprintf("heap/n=%d", n), func(b *testing.B) {
+			e := oracle.New()
+			var tick func()
+			slot := 0
+			tick = func() {
+				i := slot
+				slot = (slot + 1) % n
+				e.Schedule(e.Now().Add(wheelVsHeapPeriod(i)), 0, tick)
+			}
+			for i := 0; i < n; i++ {
+				e.Schedule(engine.At(wheelVsHeapPeriod(i)), 0, tick)
+			}
+			for i := 0; i < 4*n; i++ {
+				e.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
