@@ -10,9 +10,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci vet lint vuln build test test-race bench-smoke bench bench-json tools clean
+.PHONY: ci vet lint vuln build test test-race bench-smoke bench bench-json trace-smoke tools clean
 
-ci: vet lint build test test-race bench-smoke vuln
+ci: vet lint build test test-race bench-smoke trace-smoke vuln
 
 vet:
 	$(GO) vet ./...
@@ -57,16 +57,25 @@ bench-smoke:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
+# trace-smoke exercises the tracing pipeline end to end: record a quick
+# traced simulation, run the analyzer over the file, and fail unless the
+# analysis is non-empty (-check) — the fastest way to catch a broken emit
+# path, codec, or analyzer.
+trace-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/rtseed-repro -quick -o /dev/null -trace results/trace-smoke.rtt
+	$(GO) run ./cmd/rtseed-trace -check -misses results/trace-smoke.rtt
+
 # bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
-# many-task scaling) and converts the stream into results/BENCH_PR3.json via
-# rtseed-benchjson, the machine-readable perf-trajectory record CI uploads as
-# an artifact.
+# many-task scaling, tracing overhead) and converts the stream into
+# results/BENCH_PR4.json via rtseed-benchjson, the machine-readable
+# perf-trajectory record CI uploads as an artifact.
 bench-json:
 	@mkdir -p results
 	$(GO) test -run=NONE \
-		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel' \
-		-benchmem ./... | $(GO) run ./cmd/rtseed-benchjson -o results/BENCH_PR3.json
-	@echo "wrote results/BENCH_PR3.json"
+		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit' \
+		-benchmem ./... | $(GO) run ./cmd/rtseed-benchjson -o results/BENCH_PR4.json
+	@echo "wrote results/BENCH_PR4.json"
 
 # tools installs the pinned external analyzers (network required).
 tools:

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	rtseed-repro [-jobs N] [-quick] [-o report.md] [-workers N]
+//	rtseed-repro [-jobs N] [-quick] [-o report.md] [-workers N] [-trace FILE]
+//
+// -trace additionally records a fixed P-RMWP scenario through the tracing
+// subsystem and writes the binary trace to FILE for rtseed-trace; the bytes
+// are a pure function of the scenario, identical for any -workers value.
 package main
 
 import (
@@ -21,10 +25,13 @@ import (
 	"rtseed/internal/kernel"
 	"rtseed/internal/machine"
 	"rtseed/internal/overhead"
+	"rtseed/internal/partition"
 	"rtseed/internal/prof"
 	"rtseed/internal/report"
+	"rtseed/internal/sched"
 	"rtseed/internal/sweep"
 	"rtseed/internal/task"
+	"rtseed/internal/trace"
 )
 
 // now is the wall-clock source for the report footer. Everything above the
@@ -40,6 +47,7 @@ type options struct {
 	workers    int
 	cpuprofile string
 	memprofile string
+	trace      string
 }
 
 // parseFlags registers the command's flags on fs, parses args, and validates
@@ -53,6 +61,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "sweep cells simulated in parallel (the report is identical for any value)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile taken after the run to this file")
+	fs.StringVar(&o.trace, "trace", "", "write a binary trace of a fixed P-RMWP scenario to this file (analyze with rtseed-trace)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -84,6 +93,9 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(w, o.jobs, o.quick, o.workers)
+	if err == nil && o.trace != "" {
+		err = writeTraceFile(o.trace)
+	}
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -115,6 +127,54 @@ func run(w io.Writer, jobs int, quick bool, workers int) error {
 	}
 	writeFooter(w, now().Sub(started))
 	return nil
+}
+
+// writeTraceFile runs the traced scenario — the two-task P-RMWP set whose
+// cross-task coupling produces deadline misses, so every analyzer section
+// has material — and writes the binary trace to path. The scenario is a
+// single-threaded simulation with zero cost jitter: its trace bytes are a
+// pure function of this code, independent of -workers and of wall clock.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	model := machine.DefaultCostModel()
+	model.JitterFrac = 0
+	mach, err := machine.New(machine.Topology{Cores: 8, ThreadsPerCore: 4}, machine.NoLoad, model, 3)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	k := kernel.New(engine.New(), mach)
+	tr := trace.New(trace.Config{
+		CPUs:     mach.Topology().NumHWThreads(),
+		Capacity: 1024,
+		Sink:     f,
+	})
+	k.SetTrace(tr)
+	set := task.MustNewSet(
+		task.Uniform("fast", 5*time.Millisecond, 5*time.Millisecond, 500*time.Millisecond, 2, 50*time.Millisecond),
+		task.Uniform("slow", 10*time.Millisecond, 10*time.Millisecond, 500*time.Millisecond, 2, 100*time.Millisecond),
+	)
+	sys, err := sched.NewPRMWP(k, sched.PRMWPConfig{
+		Set:            set,
+		Horizon:        300 * time.Millisecond,
+		Policy:         assign.OneByOne,
+		Heuristic:      partition.FirstFit,
+		OverheadMargin: 3 * time.Millisecond,
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sys.Start()
+	k.Run()
+	if err := tr.Close(k.ThreadInfos()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFooter appends the elapsed-time trailer to the report.

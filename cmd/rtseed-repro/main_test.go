@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"rtseed/internal/trace"
 )
 
 func testFlagSet() *flag.FlagSet {
@@ -77,6 +81,50 @@ func TestRunQuickReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+// The binary trace is byte-identical across worker counts: the traced
+// scenario is a single-threaded simulation, so -workers (which only
+// parallelizes the report's sweeps) must not leak into the trace bytes.
+func TestTraceBytesIdenticalAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 7, 8} {
+		var report bytes.Buffer
+		if err := run(&report, 3, true, workers); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "out.rtt")
+		if err := writeTraceFile(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("empty trace file")
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: trace bytes differ from workers=1 (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+	// The trace itself decodes and carries the scenario's misses.
+	decoded, err := trace.Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Analyze(decoded)
+	if !a.NonEmpty() {
+		t.Fatal("traced scenario yields an empty analysis")
+	}
+	if len(a.Misses) == 0 {
+		t.Fatal("traced scenario should include deadline misses for the analyzer to attribute")
 	}
 }
 

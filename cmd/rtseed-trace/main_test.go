@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/trace"
+)
+
+func testFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("rtseed-trace", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(testFlagSet(), []string{"-hist", "-misses", "-util", "4", "-check", "t.rtt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.hist || !o.misses || o.util != 4 || !o.check || o.file != "t.rtt" {
+		t.Fatalf("options %+v", o)
+	}
+	if _, err := parseFlags(testFlagSet(), nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := parseFlags(testFlagSet(), []string{"a.rtt", "b.rtt"}); err == nil {
+		t.Fatal("two files accepted")
+	}
+	if _, err := parseFlags(testFlagSet(), []string{"-util", "-1", "t.rtt"}); err == nil {
+		t.Fatal("negative -util accepted")
+	}
+}
+
+// writeTestTrace scripts one two-job task with a termination and a miss and
+// writes it to a file, returning the path.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	tr := trace.New(trace.Config{CPUs: 2, Capacity: 256})
+	ms := func(d int) engine.Time { return engine.At(time.Duration(d) * time.Millisecond) }
+	tr.Emit(ms(0), 0, 1, trace.KindJobRelease, 0)
+	tr.Emit(ms(1), 0, 1, trace.KindMandStart, 0)
+	tr.Emit(ms(1), 0, 1, trace.KindDispatch, 0)
+	tr.Emit(ms(5), 1, 2, trace.KindOptStart, trace.PackJobPart(0, 0))
+	tr.Emit(ms(7), 1, 2, trace.KindOptEnd, trace.PackJobPart(0, 0))
+	tr.Emit(ms(10), 0, 1, trace.KindJobEnd, 0)
+	tr.Emit(ms(10), 0, 1, trace.KindDeadlineMet, 0)
+	tr.Emit(ms(10), 0, 1, trace.KindSleep, 0)
+	tr.Emit(ms(20), 0, 1, trace.KindJobRelease, 1)
+	tr.Emit(ms(21), 0, 1, trace.KindMandStart, 1)
+	tr.Emit(ms(21), 0, 1, trace.KindDispatch, 0)
+	tr.Emit(ms(30), 1, 2, trace.KindOptTerm, trace.PackJobPart(1, 1))
+	tr.Emit(ms(42), 0, 1, trace.KindJobEnd, 1)
+	tr.Emit(ms(42), 0, 1, trace.KindDeadlineMiss, trace.PackMiss(1, 2*time.Millisecond))
+	tr.Emit(ms(42), 0, 1, trace.KindExit, 0)
+	var buf bytes.Buffer
+	threads := []trace.ThreadInfo{
+		{TID: 1, CPU: 0, Priority: 90, Name: "a.mand"},
+		{TID: 2, CPU: 1, Priority: 80, Name: "a.opt0"},
+	}
+	if err := tr.WriteTo(&buf, threads); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.rtt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryAndSections(t *testing.T) {
+	path := writeTestTrace(t)
+	perfetto := filepath.Join(t.TempDir(), "t.json")
+	var buf bytes.Buffer
+	o := &options{hist: true, misses: true, util: 3, perfetto: perfetto, check: true, file: path}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"15 records, 2 threads, span 42ms",
+		"a", "response time", "release latency",
+		"a job 1 at 42ms: late by 2ms",
+		"parts terminated at OD [1]",
+		"per-CPU utilization (3 buckets",
+		"cpu0",
+		"wrote " + perfetto,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatalf("perfetto export is not JSON: %v", err)
+	}
+	if len(pf.TraceEvents) == 0 {
+		t.Fatal("perfetto export has no events")
+	}
+}
+
+func TestRunCheckFailsOnEmptyTrace(t *testing.T) {
+	tr := trace.New(trace.Config{CPUs: 1, Capacity: 8})
+	tr.Emit(engine.At(time.Millisecond), 0, 1, trace.KindReady, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteTo(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "empty.rtt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(&out, &options{check: true, file: path})
+	if err == nil || !strings.Contains(err.Error(), "empty analysis") {
+		t.Fatalf("err = %v, want empty-analysis failure", err)
+	}
+	// Without -check the same trace still prints a summary.
+	if err := run(&out, &options{file: path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMissingAndCorruptFiles(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, &options{file: filepath.Join(t.TempDir(), "nope.rtt")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.rtt")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&out, &options{file: bad}); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}

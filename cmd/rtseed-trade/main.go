@@ -8,7 +8,10 @@
 // Usage:
 //
 //	rtseed-trade [-ticks N] [-policy one|two|all] [-load none|cpu|cpumem]
-//	             [-odscale F]
+//	             [-odscale F] [-trace FILE]
+//
+// -trace records every kernel scheduling event and middleware part boundary
+// of the run into a binary trace file for rtseed-trace.
 //
 // -odscale scales the optional-part execution time relative to the optional
 // deadline: >1 means the analyses always overrun and are terminated
@@ -29,6 +32,7 @@ import (
 	"rtseed/internal/overhead"
 	"rtseed/internal/report"
 	"rtseed/internal/task"
+	"rtseed/internal/trace"
 	"rtseed/internal/trading"
 )
 
@@ -40,12 +44,13 @@ func main() {
 	seed := flag.Uint64("seed", 0xfeed, "feed seed")
 	sweep := flag.Bool("sweep", false, "sweep the number of parallel optional parts and report the QoS/latency trade-off instead")
 	feedAddr := flag.String("feed", "", "dial a rtseed-feedd quote server instead of the in-process generator")
+	tracePath := flag.String("trace", "", "write a binary trace of the run to this file (analyze with rtseed-trace)")
 	flag.Parse()
 	var err error
 	if *sweep {
 		err = runSweep(*policyName, *loadName)
 	} else {
-		err = run(*ticks, *policyName, *loadName, *feedAddr, *odScale, *seed)
+		err = run(*ticks, *policyName, *loadName, *feedAddr, *tracePath, *odScale, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-trade:", err)
@@ -109,7 +114,7 @@ func parseLoad(s string) (machine.Load, error) {
 	}
 }
 
-func run(ticks int, policyName, loadName, feedAddr string, odScale float64, seed uint64) error {
+func run(ticks int, policyName, loadName, feedAddr, tracePath string, odScale float64, seed uint64) error {
 	pol, err := parsePolicy(policyName)
 	if err != nil {
 		return err
@@ -160,6 +165,17 @@ func run(ticks int, policyName, loadName, feedAddr string, odScale float64, seed
 		return err
 	}
 	k := kernel.New(engine.New(), mach)
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		k.SetTrace(trace.New(trace.Config{
+			CPUs: mach.Topology().NumHWThreads(),
+			Sink: traceFile,
+		}))
+	}
 	np := pipe.NumOptional()
 	cpus, err := assign.HWThreads(mach.Topology(), pol, np)
 	if err != nil {
@@ -183,6 +199,15 @@ func run(ticks int, policyName, loadName, feedAddr string, odScale float64, seed
 	}
 	p.Start()
 	k.Run()
+	if traceFile != nil {
+		if err := k.Trace().Close(k.ThreadInfos()); err != nil {
+			traceFile.Close()
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+	}
 
 	st := p.Stats()
 	fmt.Printf("RT-Seed trading run: %d jobs, np=%d (%v), %v, optional exec %v vs OD %v\n",

@@ -2,20 +2,50 @@ package main
 
 import (
 	"net"
+	"path/filepath"
 	"testing"
 
+	"rtseed/internal/trace"
 	"rtseed/internal/trading"
 )
 
 func TestRunShortTrade(t *testing.T) {
-	if err := run(20, "one", "none", "", 2.0, 7); err != nil {
+	if err := run(20, "one", "none", "", "", 2.0, 7); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPreciseMode(t *testing.T) {
-	if err := run(10, "all", "cpu", "", 0.5, 7); err != nil {
+	if err := run(10, "all", "cpu", "", "", 0.5, 7); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// -trace captures the trading run: the decoded file's per-task job count
+// matches the tick count and nothing is lost in file-backed mode.
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trade.rtt")
+	const ticks = 12
+	if err := run(ticks, "one", "none", "", path, 2.0, 7); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.TotalLost() != 0 {
+		t.Fatalf("file-backed trace lost %d records", decoded.TotalLost())
+	}
+	a := trace.Analyze(decoded)
+	s := a.TaskByName("trader")
+	if s == nil {
+		t.Fatalf("trader task missing: %+v", a.Tasks)
+	}
+	if s.Jobs != ticks {
+		t.Fatalf("trace shows %d jobs, ran %d ticks", s.Jobs, ticks)
+	}
+	if s.Terminated == 0 {
+		t.Fatal("odscale 2.0 must terminate optional parts")
 	}
 }
 
@@ -26,10 +56,10 @@ func TestRunSweep(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run(10, "bogus", "none", "", 1, 7); err == nil {
+	if err := run(10, "bogus", "none", "", "", 1, 7); err == nil {
 		t.Fatal("bad policy accepted")
 	}
-	if err := run(10, "one", "bogus", "", 1, 7); err == nil {
+	if err := run(10, "one", "bogus", "", "", 1, 7); err == nil {
 		t.Fatal("bad load accepted")
 	}
 }
@@ -48,7 +78,7 @@ func TestRunAgainstNetworkFeed(t *testing.T) {
 	srv := trading.NewFeedServer(feed)
 	go srv.Serve(ln, 1000)
 	defer srv.Close()
-	if err := run(15, "one", "none", ln.Addr().String(), 2.0, 7); err != nil {
+	if err := run(15, "one", "none", ln.Addr().String(), "", 2.0, 7); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"rtseed/internal/kernel"
 	"rtseed/internal/machine"
 	"rtseed/internal/task"
+	"rtseed/internal/trace"
 )
 
 // App carries the application callbacks of a parallel-extended imprecise
@@ -247,6 +248,28 @@ func (p *Process) OptionalThreads() []*kernel.Thread {
 	return out
 }
 
+// emit writes one middleware trace record at the current virtual time,
+// attributed to the calling thread on its current CPU. It brackets the
+// P-RMWP part boundaries (release, fork, termination, wind-up, deadline)
+// that the kernel's own thread-state records cannot name.
+//
+//rtseed:noalloc
+func (p *Process) emit(c *kernel.TCB, kind trace.Kind, arg uint64) {
+	if tr := p.k.Trace(); tr != nil {
+		tr.Emit(c.Now(), uint16(c.HWThread()), uint32(c.Thread().ID()), kind, arg)
+	}
+}
+
+// emitAt is emit with an explicit record timestamp (the nominal release
+// instant of KindJobRelease, which precedes the emitting thread's wake-up).
+//
+//rtseed:noalloc
+func (p *Process) emitAt(c *kernel.TCB, at engine.Time, kind trace.Kind, arg uint64) {
+	if tr := p.k.Trace(); tr != nil {
+		tr.Emit(at, uint16(c.HWThread()), uint32(c.Thread().ID()), kind, arg)
+	}
+}
+
 // mandatoryBody is the mandatory thread's program (Fig. 6, left column):
 // sleep to the release, execute the mandatory part, wake the parallel
 // optional threads, wait for them all to end, execute the wind-up part,
@@ -279,6 +302,8 @@ func (p *Process) mandatoryBody(c *kernel.TCB) {
 			}
 		}
 		mandStart := c.Now()
+		p.emitAt(c, release, trace.KindJobRelease, uint64(job))
+		p.emit(c, trace.KindMandStart, uint64(job))
 		if fn := p.cfg.Probes.OnRelease; fn != nil {
 			fn(job, release, mandStart)
 		}
@@ -307,8 +332,10 @@ func (p *Process) mandatoryBody(c *kernel.TCB) {
 					Outcome: task.PartDiscarded,
 					Length:  t.Optional[k],
 				}
+				p.emit(c, trace.KindOptDiscard, trace.PackJobPart(job, k))
 			}
 			bStart := c.Now()
+			p.emit(c, trace.KindOptFork, uint64(job))
 			for _, cv := range p.optConds[:active] {
 				c.CondSignal(cv)
 			}
@@ -330,10 +357,12 @@ func (p *Process) mandatoryBody(c *kernel.TCB) {
 					Outcome: task.PartDiscarded,
 					Length:  t.Optional[k],
 				}
+				p.emit(c, trace.KindOptDiscard, trace.PackJobPart(job, k))
 			}
 		}
 
 		windupStart := c.Now()
+		p.emit(c, trace.KindWindupStart, uint64(job))
 		if fn := p.cfg.Probes.OnWindupStart; fn != nil {
 			fn(job, od, windupStart)
 		}
@@ -348,13 +377,21 @@ func (p *Process) mandatoryBody(c *kernel.TCB) {
 			}
 			fn(job, progress)
 		}
+		finish := c.Now().Duration()
+		deadline := release.Add(t.Deadline()).Duration()
+		p.emit(c, trace.KindJobEnd, uint64(job))
+		if trace.MissedDeadline(finish, deadline) {
+			p.emit(c, trace.KindDeadlineMiss, trace.PackMiss(job, finish-deadline))
+		} else {
+			p.emit(c, trace.KindDeadlineMet, uint64(job))
+		}
 		p.records = append(p.records, task.JobRecord{
 			Job:            job,
 			Release:        release.Duration(),
 			MandatoryStart: mandStart.Duration(),
 			WindupStart:    windupStart.Duration(),
-			Finish:         c.Now().Duration(),
-			Deadline:       release.Add(t.Deadline()).Duration(),
+			Finish:         finish,
+			Deadline:       deadline,
 			Parts:          p.curParts,
 		})
 	}
@@ -380,6 +417,7 @@ func (p *Process) optionalBody(c *kernel.TCB, k int) {
 		}
 		p.partPending[k] = false
 		job, od := p.curJob, p.curOD
+		p.emit(c, trace.KindOptStart, trace.PackJobPart(job, k))
 		if fn := p.cfg.Probes.OnOptionalStart; fn != nil {
 			fn(job, k, c.Now())
 		}
@@ -387,6 +425,9 @@ func (p *Process) optionalBody(c *kernel.TCB, k int) {
 		outcome := task.PartTerminated
 		if completed {
 			outcome = task.PartCompleted
+			p.emit(c, trace.KindOptEnd, trace.PackJobPart(job, k))
+		} else {
+			p.emit(c, trace.KindOptTerm, trace.PackJobPart(job, k))
 		}
 		rec := task.PartRecord{Outcome: outcome, Executed: ran, Length: t.Optional[k]}
 		p.curParts[k] = rec

@@ -3,6 +3,7 @@ package kernel
 import (
 	"rtseed/internal/list"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // CondVar is a simulated condition variable in the style of pthread_cond_t.
@@ -31,7 +32,7 @@ func (k *Kernel) handleCondWait(t *Thread, req request) {
 	k.service(t, cost, func() {
 		t.state = StateBlocked
 		req.cv.waiters.PushBackNode(t.cvNode)
-		k.trace(t, TraceBlocked)
+		k.emit(t, trace.KindBlock, 0)
 		t.pendingReply = replyMsg{completed: true}
 		k.releaseCPU(t)
 	})

@@ -18,6 +18,7 @@ import (
 
 	"rtseed/internal/engine"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // Event priorities: at equal timestamps, releases fire before timer
@@ -39,7 +40,7 @@ type Kernel struct {
 	nextTID int
 	threads []*Thread
 
-	tracer func(TraceEvent)
+	tr *trace.Tracer
 }
 
 // New builds a kernel for every hardware thread of the machine.
@@ -65,54 +66,37 @@ func (k *Kernel) Machine() *machine.Machine { return k.mach }
 // Now returns the current virtual time.
 func (k *Kernel) Now() engine.Time { return k.eng.Now() }
 
-// SetTracer installs a callback invoked on every thread state transition.
-// Pass nil to disable tracing.
-func (k *Kernel) SetTracer(fn func(TraceEvent)) { k.tracer = fn }
+// SetTrace attaches a tracer: every thread state transition and timer
+// action is emitted into it as a trace.Record. Pass nil to disable tracing.
+func (k *Kernel) SetTrace(tr *trace.Tracer) { k.tr = tr }
 
-func (k *Kernel) trace(t *Thread, kind TraceKind) {
-	if k.tracer != nil {
-		k.tracer(TraceEvent{Thread: t, Kind: kind, At: k.eng.Now()})
+// Trace returns the attached tracer, or nil.
+func (k *Kernel) Trace() *trace.Tracer { return k.tr }
+
+// emit writes one trace record for t at the current virtual time. This sits
+// on every scheduling hot path, so with no tracer attached it must cost one
+// nil check and nothing else.
+//
+//rtseed:noalloc
+func (k *Kernel) emit(t *Thread, kind trace.Kind, arg uint64) {
+	if k.tr != nil {
+		k.tr.Emit(k.eng.Now(), uint16(t.cpuID), uint32(t.id), kind, arg)
 	}
 }
 
-// TraceKind classifies a thread state transition.
-type TraceKind int
-
-// Trace kinds emitted by the kernel.
-const (
-	TraceReady TraceKind = iota + 1
-	TraceDispatched
-	TracePreempted
-	TraceBlocked
-	TraceSleeping
-	TraceExited
-)
-
-// String implements fmt.Stringer.
-func (tk TraceKind) String() string {
-	switch tk {
-	case TraceReady:
-		return "ready"
-	case TraceDispatched:
-		return "dispatched"
-	case TracePreempted:
-		return "preempted"
-	case TraceBlocked:
-		return "blocked"
-	case TraceSleeping:
-		return "sleeping"
-	case TraceExited:
-		return "exited"
-	default:
-		return "unknown"
+// ThreadInfos returns the trace metadata of every thread ever created, in
+// creation order — the thread table written alongside a trace file.
+func (k *Kernel) ThreadInfos() []trace.ThreadInfo {
+	out := make([]trace.ThreadInfo, len(k.threads))
+	for i, t := range k.threads {
+		out[i] = trace.ThreadInfo{
+			TID:      uint32(t.id),
+			CPU:      uint16(t.cpuID),
+			Priority: uint16(t.prio),
+			Name:     t.name,
+		}
 	}
-}
-
-// TraceEvent is one thread state transition.
-type TraceEvent struct {
-	Thread *Thread
-	Kind   TraceKind
-	At     engine.Time
+	return out
 }
 
 // Run processes simulation events until none remain, then shuts down any
@@ -173,7 +157,7 @@ func (k *Kernel) makeReady(t *Thread, atFront bool) {
 	c := k.cpu(t.cpuID)
 	t.state = StateReady
 	c.runq.enqueue(t, atFront)
-	k.trace(t, TraceReady)
+	k.emit(t, trace.KindReady, 0)
 	k.considerCPU(c)
 }
 
@@ -217,7 +201,7 @@ func (k *Kernel) preempt(c *cpu) {
 	k.setCurrent(c, nil)
 	t.state = StateReady
 	t.dispatchOp = machine.OpContextSwitch
-	k.trace(t, TracePreempted)
+	k.emit(t, trace.KindPreempt, 0)
 	c.runq.enqueue(t, true)
 	k.scheduleDispatch(c)
 }
@@ -256,7 +240,7 @@ func (k *Kernel) finishDispatch(c *cpu) {
 		return
 	}
 	k.setCurrent(c, t)
-	k.trace(t, TraceDispatched)
+	k.emit(t, trace.KindDispatch, 0)
 	k.resumeOnCPU(t)
 }
 
@@ -416,7 +400,7 @@ func (k *Kernel) handleYield(t *Thread) {
 	t.dispatchOp = machine.OpContextSwitch
 	t.pendingReply = replyMsg{completed: true}
 	c.runq.enqueue(t, false)
-	k.trace(t, TraceReady)
+	k.emit(t, trace.KindReady, 0)
 	k.scheduleDispatch(c)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"rtseed/internal/engine"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // testKernel builds a kernel on a small machine with zero-jitter costs so
@@ -369,14 +370,16 @@ func TestPreemptedInterruptibleBurstAccounting(t *testing.T) {
 
 func TestTracerSeesLifecycle(t *testing.T) {
 	k := testKernel(t, machine.NoLoad)
-	var kinds []TraceKind
-	k.SetTracer(func(ev TraceEvent) { kinds = append(kinds, ev.Kind) })
+	tr := trace.New(trace.Config{CPUs: 1})
+	k.SetTrace(tr)
+	var kinds []trace.Kind
+	tr.Tap(func(rec trace.Record) { kinds = append(kinds, rec.Kind) })
 	th := k.MustNewThread(ThreadConfig{Name: "t", Priority: 50, CPU: 0}, func(c *TCB) {
 		c.Compute(time.Millisecond)
 	})
 	th.Start()
 	k.Run()
-	want := []TraceKind{TraceReady, TraceDispatched, TraceExited}
+	want := []trace.Kind{trace.KindReady, trace.KindDispatch, trace.KindExit}
 	if len(kinds) != len(want) {
 		t.Fatalf("trace %v, want %v", kinds, want)
 	}
@@ -384,6 +387,9 @@ func TestTracerSeesLifecycle(t *testing.T) {
 		if kinds[i] != want[i] {
 			t.Fatalf("trace %v, want %v", kinds, want)
 		}
+	}
+	if got := tr.Emitted(); got != uint64(len(want)) {
+		t.Fatalf("Emitted() = %d, want %d", got, len(want))
 	}
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"rtseed/internal/list"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // Mutex is a simulated blocking mutex with FIFO hand-off. RT-Seed's ending
@@ -57,7 +58,7 @@ func (k *Kernel) handleMutexLock(t *Thread, req request) {
 	}
 	t.state = StateBlocked
 	m.waiters.PushBackNode(t.cvNode)
-	k.trace(t, TraceBlocked)
+	k.emit(t, trace.KindBlock, 0)
 	t.pendingReply = replyMsg{completed: true}
 	k.boostOwner(m)
 	k.releaseCPU(t)

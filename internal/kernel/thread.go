@@ -7,6 +7,7 @@ import (
 	"rtseed/internal/engine"
 	"rtseed/internal/list"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // Priority bounds of SCHED_FIFO: larger values denote higher priority.
@@ -396,7 +397,7 @@ func (k *Kernel) handleCompute(t *Thread, req request) {
 		t.state = StateReady
 		t.inCompute = true
 		t.dispatchOp = machine.OpContextSwitch
-		k.trace(t, TracePreempted)
+		k.emit(t, trace.KindPreempt, 0)
 		k.setCurrent(c, nil)
 		c.runq.enqueue(t, true)
 		k.scheduleDispatch(c)
@@ -411,7 +412,7 @@ func (k *Kernel) handleSleep(t *Thread, req request) {
 		return
 	}
 	t.state = StateSleeping
-	k.trace(t, TraceSleeping)
+	k.emit(t, trace.KindSleep, 0)
 	k.releaseCPU(t)
 	t.pendingReply = replyMsg{completed: true}
 	k.eng.Schedule(req.at, prioRelease, t.wakeFn)
@@ -419,7 +420,7 @@ func (k *Kernel) handleSleep(t *Thread, req request) {
 
 func (k *Kernel) handleExit(t *Thread) {
 	t.state = StateExited
-	k.trace(t, TraceExited)
+	k.emit(t, trace.KindExit, 0)
 	k.eng.Cancel(t.timer)
 	t.timer = engine.Event{}
 	k.unbind(t)

@@ -3,6 +3,7 @@ package kernel
 import (
 	"rtseed/internal/engine"
 	"rtseed/internal/machine"
+	"rtseed/internal/trace"
 )
 
 // handleTimerSet arms the thread's one-shot SIGALRM timer at an absolute
@@ -27,6 +28,7 @@ func (k *Kernel) finishTimerSet(t *Thread) {
 		at = k.eng.Now()
 	}
 	t.timer = k.eng.Schedule(at, prioTimer, t.alarmFireFn)
+	k.emit(t, trace.KindTimerArm, uint64(at))
 	k.resumeThread(t, replyMsg{completed: true})
 }
 
@@ -58,6 +60,7 @@ func (k *Kernel) finishTimerStop(t *Thread) {
 //rtseed:noalloc
 func (k *Kernel) deliverAlarm(t *Thread) {
 	t.pendingAlarm = true
+	k.emit(t, trace.KindTimerFire, 0)
 	k.checkAlarm(t)
 }
 

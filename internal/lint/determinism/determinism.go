@@ -28,7 +28,7 @@ var Analyzer = &lint.Analyzer{
 // may touch the real world; these may not.
 var scopedPackages = []string{
 	"engine", "kernel", "overhead", "analysis", "sweep", "sched",
-	"task", "machine", "partition", "assign", "rt", "core",
+	"task", "machine", "partition", "assign", "rt", "core", "trace",
 }
 
 // InScope reports whether the determinism contract applies to importPath.

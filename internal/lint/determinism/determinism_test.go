@@ -17,6 +17,7 @@ func TestScope(t *testing.T) {
 		"rtseed/internal/kernel":      true,
 		"rtseed/internal/rt":          true,
 		"rtseed/internal/sweep":       true,
+		"rtseed/internal/trace":       true,
 		"rtseed/internal/lint":        false,
 		"rtseed/internal/trading":     false,
 		"rtseed/internal/report":      false,

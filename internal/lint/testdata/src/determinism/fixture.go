@@ -65,6 +65,18 @@ func invert(m map[string]int) map[int]string {
 	return out
 }
 
+// Flagged pattern 5: stamping a trace record with the wall clock. Trace
+// bytes must be byte-identical across runs, so records carry virtual time.
+func emitWallStamped(emit func(at int64, kind uint8)) {
+	emit(time.Now().UnixNano(), 1) // want `time\.Now`
+}
+
+// Clean: the trace-emit idiom — the virtual-time instant is an input, so
+// the record stream is a pure function of the simulation.
+func emitVirtualStamped(emit func(at int64, kind uint8), now int64) {
+	emit(now, 1)
+}
+
 // Accepted escape hatch: a line-scoped waiver with a reason.
 func waivedLine() time.Time {
 	return time.Now() //rtseed:nondeterministic-ok wall clock feeds a log line, not a result

@@ -104,6 +104,28 @@ func hotBitmap(bitmap *[2]uint64, prio uint) int {
 	return 63 - bits.LeadingZeros64(w) + bits.TrailingZeros64(rot)
 }
 
+type traceRec struct{ seq, at, arg uint64 }
+
+type traceRing struct {
+	buf []traceRec
+	w   int
+}
+
+// Clean: the trace-emit idiom. A value-struct store into a pre-sized ring
+// with wraparound indexing, plus a call through a pre-bound observer func,
+// never allocates — the tracing hot path is built from exactly this.
+//
+//rtseed:noalloc
+func hotRingEmit(r *traceRing, observer func(traceRec), seq, at, arg uint64) {
+	rec := traceRec{seq: seq, at: at, arg: arg}
+	observer(rec)
+	if r.w == len(r.buf) {
+		r.w = 0
+	}
+	r.buf[r.w] = rec
+	r.w++
+}
+
 // Accepted escape hatch: amortized growth waived with a reason.
 //
 //rtseed:noalloc

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rtseed/internal/task"
+	"rtseed/internal/trace"
 )
 
 // EDFResult summarizes the dynamic-priority baseline: EDF over mandatory
@@ -100,7 +101,7 @@ func SimulateEDFWP(s *task.Set, horizon, quantum time.Duration) (EDFResult, erro
 					j.phase = 1
 				case 2:
 					j.phase = 3
-					if now+quantum > j.deadline {
+					if trace.MissedDeadline(now+quantum, j.deadline) {
 						res.DeadlineMisses++
 					}
 				}

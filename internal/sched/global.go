@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rtseed/internal/task"
+	"rtseed/internal/trace"
 )
 
 // GlobalResult summarizes an idealized global semi-fixed-priority (G-RMWP)
@@ -105,7 +106,7 @@ func SimulateGRMWP(s *task.Set, m int, horizon, quantum, migrationPenalty time.D
 					j.phase = 1 // waits for its optional deadline
 				} else {
 					j.phase = 2 // done
-					if now+quantum > j.deadline {
+					if trace.MissedDeadline(now+quantum, j.deadline) {
 						res.DeadlineMisses++
 					}
 				}

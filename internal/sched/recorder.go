@@ -11,6 +11,7 @@ import (
 
 	"rtseed/internal/engine"
 	"rtseed/internal/kernel"
+	"rtseed/internal/trace"
 )
 
 // Segment is a half-open interval [From, To) during which a thread ran.
@@ -21,32 +22,43 @@ type Segment struct {
 // Duration returns the segment length.
 func (s Segment) Duration() time.Duration { return s.To.Sub(s.From) }
 
-// Recorder collects per-thread run segments from the kernel tracer.
+// Recorder collects per-thread run segments by tapping the kernel's trace
+// stream. It keys by trace TID, so it works identically whether it observes
+// the tracer live or replays records from a decoded trace file.
 type Recorder struct {
-	running  map[*kernel.Thread]engine.Time
-	segments map[*kernel.Thread][]Segment
+	running  map[uint32]engine.Time
+	segments map[uint32][]Segment
 }
 
-// NewRecorder attaches a recorder to the kernel. It replaces any existing
-// tracer.
+// NewRecorder attaches a recorder to the kernel's tracer, installing a
+// flight-recorder tracer if the kernel has none. The recorder observes every
+// record live (trace.Tap), so its history is not bounded by the tracer's
+// ring capacity.
 func NewRecorder(k *kernel.Kernel) *Recorder {
-	r := &Recorder{
-		running:  make(map[*kernel.Thread]engine.Time),
-		segments: make(map[*kernel.Thread][]Segment),
+	tr := k.Trace()
+	if tr == nil {
+		tr = trace.New(trace.Config{CPUs: k.Machine().Topology().NumHWThreads()})
+		k.SetTrace(tr)
 	}
-	k.SetTracer(r.observe)
+	r := &Recorder{
+		running:  make(map[uint32]engine.Time),
+		segments: make(map[uint32][]Segment),
+	}
+	tr.Tap(r.Observe)
 	return r
 }
 
-func (r *Recorder) observe(ev kernel.TraceEvent) {
-	switch ev.Kind {
-	case kernel.TraceDispatched:
-		r.running[ev.Thread] = ev.At
-	case kernel.TracePreempted, kernel.TraceBlocked, kernel.TraceSleeping, kernel.TraceExited:
-		if from, ok := r.running[ev.Thread]; ok {
-			delete(r.running, ev.Thread)
-			if ev.At > from {
-				r.segments[ev.Thread] = append(r.segments[ev.Thread], Segment{From: from, To: ev.At})
+// Observe consumes one trace record. It is exported so a recorder can also
+// be replayed over the records of a decoded trace file.
+func (r *Recorder) Observe(rec trace.Record) {
+	switch rec.Kind {
+	case trace.KindDispatch:
+		r.running[rec.TID] = rec.At
+	case trace.KindPreempt, trace.KindBlock, trace.KindSleep, trace.KindExit:
+		if from, ok := r.running[rec.TID]; ok {
+			delete(r.running, rec.TID)
+			if rec.At > from {
+				r.segments[rec.TID] = append(r.segments[rec.TID], Segment{From: from, To: rec.At})
 			}
 		}
 	}
@@ -54,15 +66,16 @@ func (r *Recorder) observe(ev kernel.TraceEvent) {
 
 // Segments returns the recorded run segments of t in time order.
 func (r *Recorder) Segments(t *kernel.Thread) []Segment {
-	out := make([]Segment, len(r.segments[t]))
-	copy(out, r.segments[t])
+	segs := r.segments[uint32(t.ID())]
+	out := make([]Segment, len(segs))
+	copy(out, segs)
 	return out
 }
 
 // Executed returns the CPU time t consumed within [from, to).
 func (r *Recorder) Executed(t *kernel.Thread, from, to engine.Time) time.Duration {
 	var sum time.Duration
-	for _, s := range r.segments[t] {
+	for _, s := range r.segments[uint32(t.ID())] {
 		lo, hi := s.From, s.To
 		if lo < from {
 			lo = from
@@ -91,7 +104,7 @@ type TracePoint struct {
 func (r *Recorder) RemainingTime(t *kernel.Thread, from, to engine.Time, budget time.Duration) []TracePoint {
 	points := []TracePoint{{T: from.Duration(), R: budget}}
 	remaining := budget
-	for _, s := range r.segments[t] {
+	for _, s := range r.segments[uint32(t.ID())] {
 		if s.To <= from || s.From >= to || remaining <= 0 {
 			continue
 		}

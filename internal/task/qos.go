@@ -3,6 +3,8 @@ package task
 import (
 	"fmt"
 	"time"
+
+	"rtseed/internal/trace"
 )
 
 // PartOutcome is the fate of one parallel optional part in one job
@@ -74,8 +76,9 @@ type JobRecord struct {
 	Parts []PartRecord
 }
 
-// Met reports whether the job finished by its deadline.
-func (j JobRecord) Met() bool { return j.Finish <= j.Deadline }
+// Met reports whether the job finished by its deadline, via the shared
+// trace.MissedDeadline predicate so every policy counts misses identically.
+func (j JobRecord) Met() bool { return !trace.MissedDeadline(j.Finish, j.Deadline) }
 
 // QoS returns the job's quality of service: the mean progress of its
 // parallel optional parts (1 if the task has none — the result is then

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram: bucket i (i ≥ 1)
+// counts durations in [2^(i-1), 2^i) ns, bucket 0 counts non-positive ones.
+type Histogram struct {
+	Buckets [65]uint64
+	N       uint64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d time.Duration) {
+	h.Buckets[bucketIndex(d)]++
+	if h.N == 0 || d < h.Min {
+		h.Min = d
+	}
+	if h.N == 0 || d > h.Max {
+		h.Max = d
+	}
+	h.N++
+	h.Sum += d
+}
+
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func BucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Mean returns the average recorded duration.
+func (h *Histogram) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.N)
+}
+
+// Format writes the non-empty buckets, one per line with the given indent.
+func (h *Histogram) Format(b *strings.Builder, indent string) {
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		fmt.Fprintf(b, "%s[%11v, %11v) %6d %s\n", indent, lo, hi, n, strings.Repeat("#", barLen(n, h.N)))
+	}
+}
+
+func barLen(n, total uint64) int {
+	if total == 0 {
+		return 0
+	}
+	return int(n * 40 / total)
+}
+
+// TaskStat aggregates one task's records: job and part counts that mirror
+// task.Stats, plus response-time (finish − release) and release-latency
+// (mandatory start − release, the paper's Δm) histograms.
+type TaskStat struct {
+	Name       string
+	Jobs       int
+	Completed  int
+	Terminated int
+	Discarded  int
+	Misses     int
+	Response   Histogram
+	ReleaseLat Histogram
+}
+
+// Miss attributes one deadline miss: which optional parts overran (were
+// terminated at OD), how often the task's threads were preempted inside the
+// job window, and which thread took the CPU at the last such preemption.
+type Miss struct {
+	Task     string
+	Job      int
+	At       engine.Time
+	Lateness time.Duration
+	// OverranParts lists the parallel optional parts terminated at the
+	// optional deadline in this job — the parts that ate the slack.
+	OverranParts []int
+	// Preemptions counts preemptions of the task's threads in the job
+	// window [release, finish].
+	Preemptions int
+	// Preemptor names the thread that took the CPU at the last preemption
+	// in the window, or "" if the task was never preempted.
+	Preemptor string
+}
+
+// Interval is a half-open busy interval [From, To).
+type Interval struct {
+	From, To engine.Time
+}
+
+// CPUTimeline is one CPU's busy intervals in time order.
+type CPUTimeline struct {
+	CPU  uint16
+	Busy []Interval
+}
+
+// Utilization buckets the timeline's busy time into n equal slices of
+// [0, span), returning the busy fraction of each slice.
+func (c *CPUTimeline) Utilization(n int, span engine.Time) []float64 {
+	out := make([]float64, n)
+	if n == 0 || span <= 0 {
+		return out
+	}
+	width := span.Duration() / time.Duration(n)
+	if width <= 0 {
+		return out
+	}
+	for _, iv := range c.Busy {
+		for b := 0; b < n; b++ {
+			lo := engine.At(time.Duration(b) * width)
+			hi := lo.Add(width)
+			from, to := iv.From, iv.To
+			if from < lo {
+				from = lo
+			}
+			if to > hi {
+				to = hi
+			}
+			if to > from {
+				out[b] += float64(to.Sub(from)) / float64(width)
+			}
+		}
+	}
+	return out
+}
+
+// Analysis is the post-hoc view of one trace: per-task statistics, deadline
+// misses with attribution, and per-CPU busy timelines.
+type Analysis struct {
+	// Tasks is sorted by task name. A task is the common prefix of its
+	// threads' names ("a.mand", "a.opt0" → task "a"); threads without the
+	// middleware suffix form single-thread tasks under their own name.
+	Tasks []TaskStat
+	// Misses lists every KindDeadlineMiss in trace order.
+	Misses []Miss
+	// CPUs is sorted by CPU id; busy time is dispatch → preempt/block/
+	// sleep/exit per thread, attributed to the record's CPU.
+	CPUs []CPUTimeline
+	// Span is the largest record timestamp: the traced horizon.
+	Span engine.Time
+	// Lost is the trace's total overwritten-record count; a nonzero value
+	// means every count below is a lower bound.
+	Lost uint64
+}
+
+// TaskByName returns the statistics of the named task, or nil.
+func (a *Analysis) TaskByName(name string) *TaskStat {
+	for i := range a.Tasks {
+		if a.Tasks[i].Name == name {
+			return &a.Tasks[i]
+		}
+	}
+	return nil
+}
+
+// NonEmpty reports whether the analysis saw at least one job with a
+// response-time sample — the trace-smoke gate.
+func (a *Analysis) NonEmpty() bool {
+	for i := range a.Tasks {
+		if a.Tasks[i].Response.N > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// taskName maps a thread name to its task: the middleware names threads
+// "<task>.mand" and "<task>.opt<k>", anything else is its own task.
+func taskName(thread string) string {
+	i := strings.LastIndexByte(thread, '.')
+	if i < 0 {
+		return thread
+	}
+	suffix := thread[i+1:]
+	if suffix == "mand" || isOptSuffix(suffix) {
+		return thread[:i]
+	}
+	return thread
+}
+
+func isOptSuffix(s string) bool {
+	if !strings.HasPrefix(s, "opt") || len(s) == 3 {
+		return false
+	}
+	for _, r := range s[3:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Analyze computes the full analysis of a decoded trace.
+func Analyze(t *Trace) *Analysis {
+	a := &Analysis{Lost: t.TotalLost()}
+
+	tidThread := make(map[uint32]string) // TID → thread name
+	tidTask := make(map[uint32]string)   // TID → task name
+	for _, th := range t.Threads {
+		tidThread[th.TID] = th.Name
+		tidTask[th.TID] = taskName(th.Name)
+	}
+	task := func(tid uint32) string {
+		if name, ok := tidTask[tid]; ok {
+			return name
+		}
+		return fmt.Sprintf("tid%d", tid)
+	}
+
+	stats := make(map[string]*TaskStat)
+	stat := func(name string) *TaskStat {
+		s, ok := stats[name]
+		if !ok {
+			s = &TaskStat{Name: name}
+			stats[name] = s
+		}
+		return s
+	}
+
+	type jobKey struct {
+		task string
+		job  int
+	}
+	releases := make(map[jobKey]engine.Time)
+	overran := make(map[jobKey][]int)
+	running := make(map[uint32]engine.Time) // TID → dispatch time
+	runCPU := make(map[uint32]uint16)       // TID → dispatch CPU
+	cpuBusy := make(map[uint16][]Interval)
+	var missAt []int // record indexes of KindDeadlineMiss
+
+	for i, rec := range t.Records {
+		if rec.At > a.Span {
+			a.Span = rec.At
+		}
+		switch rec.Kind {
+		case KindDispatch:
+			running[rec.TID] = rec.At
+			runCPU[rec.TID] = rec.CPU
+		case KindPreempt, KindBlock, KindSleep, KindExit:
+			if from, ok := running[rec.TID]; ok {
+				delete(running, rec.TID)
+				cpu := runCPU[rec.TID]
+				if rec.At > from {
+					cpuBusy[cpu] = append(cpuBusy[cpu], Interval{From: from, To: rec.At})
+				}
+			}
+		case KindJobRelease:
+			releases[jobKey{task(rec.TID), int(rec.Arg)}] = rec.At
+		case KindMandStart:
+			s := stat(task(rec.TID))
+			if rel, ok := releases[jobKey{s.Name, int(rec.Arg)}]; ok {
+				s.ReleaseLat.Add(rec.At.Sub(rel))
+			}
+		case KindJobEnd:
+			s := stat(task(rec.TID))
+			s.Jobs++
+			if rel, ok := releases[jobKey{s.Name, int(rec.Arg)}]; ok {
+				s.Response.Add(rec.At.Sub(rel))
+			}
+		case KindOptEnd:
+			stat(task(rec.TID)).Completed++
+		case KindOptTerm:
+			s := stat(task(rec.TID))
+			s.Terminated++
+			job, part := UnpackJobPart(rec.Arg)
+			key := jobKey{s.Name, job}
+			overran[key] = append(overran[key], part)
+		case KindOptDiscard:
+			stat(task(rec.TID)).Discarded++
+		case KindDeadlineMiss:
+			stat(task(rec.TID)).Misses++
+			missAt = append(missAt, i)
+		}
+	}
+
+	for _, i := range missAt {
+		rec := t.Records[i]
+		name := task(rec.TID)
+		job, lateness := UnpackMiss(rec.Arg)
+		m := Miss{Task: name, Job: job, At: rec.At, Lateness: lateness}
+		if parts := overran[jobKey{name, job}]; parts != nil {
+			m.OverranParts = append([]int(nil), parts...)
+			sort.Ints(m.OverranParts)
+		}
+		release, haveRelease := releases[jobKey{name, job}]
+		// Attribution pass over the job window: count preemptions of the
+		// task's threads and name the thread dispatched in place of the
+		// last one.
+		for j := 0; j <= i; j++ {
+			r := t.Records[j]
+			if r.Kind != KindPreempt || task(r.TID) != name {
+				continue
+			}
+			if haveRelease && r.At < release {
+				continue
+			}
+			m.Preemptions++
+			for n := j + 1; n <= i; n++ {
+				next := t.Records[n]
+				if next.Kind == KindDispatch && next.CPU == r.CPU && next.TID != r.TID {
+					if thName, ok := tidThread[next.TID]; ok {
+						m.Preemptor = thName
+					} else {
+						m.Preemptor = fmt.Sprintf("tid%d", next.TID)
+					}
+					break
+				}
+			}
+		}
+		a.Misses = append(a.Misses, m)
+	}
+
+	for name := range stats {
+		a.Tasks = append(a.Tasks, *stats[name])
+	}
+	sort.Slice(a.Tasks, func(i, j int) bool { return a.Tasks[i].Name < a.Tasks[j].Name })
+	for cpu := range cpuBusy {
+		a.CPUs = append(a.CPUs, CPUTimeline{CPU: cpu, Busy: cpuBusy[cpu]})
+	}
+	sort.Slice(a.CPUs, func(i, j int) bool { return a.CPUs[i].CPU < a.CPUs[j].CPU })
+	return a
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+// FuzzTraceCodec: Decode must never panic on arbitrary input — truncated
+// files, bad versions, corrupted sections all error cleanly — and anything
+// it does accept must re-encode and decode to the same trace.
+func FuzzTraceCodec(f *testing.F) {
+	// Seed corpus: a real file, its truncations, and targeted corruptions.
+	tr := New(Config{CPUs: 2, Capacity: 8})
+	for i := 0; i < 20; i++ {
+		tr.Emit(engine.At(time.Duration(i)*time.Microsecond), uint16(i%2), uint32(1+i%3),
+			Kind(1+i%int(kindMax-1)), uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTo(&buf, []ThreadInfo{{TID: 1, CPU: 0, Priority: 50, Name: "a.mand"}}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:12])
+	f.Add([]byte{})
+	f.Add([]byte("RTSEEDTR"))
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(badVersion[8:], 0xffff)
+	f.Add(badVersion)
+	badKind := append([]byte(nil), valid...)
+	badKind[12+9+30] = 200
+	f.Add(badKind)
+	hugeLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeLen[13:], 1<<62)
+	f.Add(hugeLen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a rewrite round trip.
+		var out bytes.Buffer
+		rt := New(Config{CPUs: len(decoded.Lost), Capacity: max(len(decoded.Records), 1)})
+		for _, rec := range decoded.Records {
+			rt.Emit(rec.At, rec.CPU, rec.TID, rec.Kind, rec.Arg)
+		}
+		if err := rt.WriteTo(&out, decoded.Threads); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := Decode(out.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again.Records) != len(decoded.Records) {
+			t.Fatalf("round trip changed record count %d -> %d", len(decoded.Records), len(again.Records))
+		}
+		// Analyze and the Perfetto exporter must also hold up on anything
+		// the reader accepts.
+		a := Analyze(decoded)
+		_ = a.NonEmpty()
+		if err := WritePerfetto(&bytes.Buffer{}, decoded); err != nil {
+			t.Fatalf("perfetto: %v", err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PerfettoEvent is one Chrome trace_event entry
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry the run segments, "i" instants the middleware
+// part boundaries, "M" metadata the thread names. Timestamps and durations
+// are microseconds; pid is the CPU so Perfetto groups tracks per processor.
+type PerfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Cat   string         `json:"cat,omitempty"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   uint32         `json:"pid"`
+	TID   uint32         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// PerfettoFile is the JSON object format of a trace_event file.
+type PerfettoFile struct {
+	TraceEvents     []PerfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// usec converts nanoseconds of virtual time to trace_event microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// BuildPerfetto converts a decoded trace into trace_event form.
+func BuildPerfetto(t *Trace) *PerfettoFile {
+	f := &PerfettoFile{DisplayTimeUnit: "ns"}
+
+	names := make(map[uint32]string)
+	for _, th := range t.Threads {
+		names[th.TID] = th.Name
+		f.TraceEvents = append(f.TraceEvents, PerfettoEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   uint32(th.CPU),
+			TID:   th.TID,
+			Args:  map[string]any{"name": th.Name},
+		})
+	}
+	name := func(tid uint32) string {
+		if n, ok := names[tid]; ok {
+			return n
+		}
+		return fmt.Sprintf("tid%d", tid)
+	}
+
+	type runStart struct {
+		at  int64
+		cpu uint16
+	}
+	running := make(map[uint32]runStart)
+	for _, rec := range t.Records {
+		switch rec.Kind {
+		case KindDispatch:
+			running[rec.TID] = runStart{at: int64(rec.At), cpu: rec.CPU}
+		case KindPreempt, KindBlock, KindSleep, KindExit:
+			start, ok := running[rec.TID]
+			if !ok {
+				continue
+			}
+			delete(running, rec.TID)
+			if int64(rec.At) <= start.at {
+				continue
+			}
+			f.TraceEvents = append(f.TraceEvents, PerfettoEvent{
+				Name:  name(rec.TID),
+				Phase: "X",
+				Cat:   "run",
+				TS:    usec(start.at),
+				Dur:   usec(int64(rec.At) - start.at),
+				PID:   uint32(start.cpu),
+				TID:   rec.TID,
+			})
+		case KindJobRelease, KindMandStart, KindOptFork, KindOptStart,
+			KindOptEnd, KindOptTerm, KindOptDiscard, KindWindupStart,
+			KindJobEnd, KindDeadlineMet, KindDeadlineMiss, KindTimerArm,
+			KindTimerFire:
+			f.TraceEvents = append(f.TraceEvents, PerfettoEvent{
+				Name:  rec.Kind.String(),
+				Phase: "i",
+				Cat:   "middleware",
+				TS:    usec(int64(rec.At)),
+				PID:   uint32(rec.CPU),
+				TID:   rec.TID,
+				Scope: "t",
+				Args:  map[string]any{"arg": rec.Arg},
+			})
+		}
+	}
+	return f
+}
+
+// WritePerfetto writes the trace as Perfetto-loadable Chrome trace_event
+// JSON.
+func WritePerfetto(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildPerfetto(t))
+}

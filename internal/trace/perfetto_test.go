@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfettoSchema validates the export against the Chrome trace_event
+// schema: every event has a known phase, a non-empty name, non-negative
+// microsecond timestamps, metadata events carry args.name, and complete
+// events carry a positive duration.
+func TestPerfettoSchema(t *testing.T) {
+	tr := synthTrace(t)
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode through generic JSON, not our own structs, so the assertions
+	// check the bytes on the wire rather than the Go types.
+	var file struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+
+	var meta, complete, instant int
+	for i, ev := range file.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event %d has no name: %v", i, ev)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d has bad ts: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			t.Fatalf("event %d has no tid: %v", i, ev)
+		}
+		switch ph, _ := ev["ph"].(string); ph {
+		case "M":
+			meta++
+			if name != "thread_name" {
+				t.Fatalf("metadata event %d named %q", i, name)
+			}
+			args, _ := ev["args"].(map[string]any)
+			if s, _ := args["name"].(string); s == "" {
+				t.Fatalf("metadata event %d lacks args.name: %v", i, ev)
+			}
+		case "X":
+			complete++
+			if dur, ok := ev["dur"].(float64); !ok || dur <= 0 {
+				t.Fatalf("complete event %d has bad dur: %v", i, ev)
+			}
+			if cat, _ := ev["cat"].(string); cat != "run" {
+				t.Fatalf("complete event %d has cat %q", i, ev["cat"])
+			}
+		case "i":
+			instant++
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Fatalf("instant event %d has scope %q", i, ev["s"])
+			}
+			if cat, _ := ev["cat"].(string); cat != "middleware" {
+				t.Fatalf("instant event %d has cat %q", i, ev["cat"])
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ph)
+		}
+	}
+	// synthTrace has 3 threads, 5 run segments, and 17 middleware/timer
+	// instants.
+	if meta != 3 || complete != 5 || instant != 17 {
+		t.Fatalf("meta %d complete %d instant %d", meta, complete, instant)
+	}
+}
+
+func TestPerfettoRunSegments(t *testing.T) {
+	f := BuildPerfetto(synthTrace(t))
+	// The hog's preempting run [23ms, 27ms) must appear on CPU 0.
+	var found bool
+	for _, ev := range f.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "hog" {
+			found = true
+			if ev.TS != 23000 || ev.Dur != 4000 || ev.PID != 0 {
+				t.Fatalf("hog segment %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hog run segment missing")
+	}
+}
+
+func TestPerfettoEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	var file PerfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) != 0 {
+		t.Fatalf("events from empty trace: %+v", file.TraceEvents)
+	}
+}
