@@ -10,9 +10,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci vet lint vuln build test test-race bench-smoke bench bench-json trace-smoke tools clean
+.PHONY: ci vet lint vuln build test test-race bench-smoke bench bench-json trace-smoke fuzz-smoke tools clean
 
-ci: vet lint build test test-race bench-smoke trace-smoke vuln
+ci: vet lint build test test-race bench-smoke trace-smoke fuzz-smoke vuln
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,14 @@ trace-smoke:
 	@mkdir -p results
 	$(GO) run ./cmd/rtseed-repro -quick -o /dev/null -trace results/trace-smoke.rtt
 	$(GO) run ./cmd/rtseed-trace -check -misses results/trace-smoke.rtt
+
+# fuzz-smoke runs each fuzz target for a short, bounded burst: long enough to
+# trip a regression in the engine-vs-oracle equivalence or the trace codec
+# round-trip, short enough for every CI run. `go test -fuzz` accepts a single
+# target per invocation, so each gets its own line.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzEngineVsOracle -fuzztime=30s ./internal/engine
+	$(GO) test -run=NONE -fuzz=FuzzTraceCodec -fuzztime=30s ./internal/trace
 
 # bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
 # many-task scaling, tracing overhead) and converts the stream into

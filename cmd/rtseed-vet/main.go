@@ -1,5 +1,6 @@
-// Command rtseed-vet runs the repository's invariant analyzers — determinism,
-// noalloc, and eventhandle — over the module, the way go vet runs its passes.
+// Command rtseed-vet runs the repository's invariant analyzers —
+// determinism, noalloc, eventhandle, exhaustive, kernelctx, and waiverdrift
+// — over the module, the way go vet runs its passes.
 //
 // Usage:
 //
@@ -14,90 +15,48 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"rtseed/internal/lint"
-	"rtseed/internal/lint/determinism"
-	"rtseed/internal/lint/eventhandle"
-	"rtseed/internal/lint/noalloc"
+	"rtseed/internal/lint/suite"
 )
 
-// analyzers is the vet suite, in reporting order.
-var analyzers = []*lint.Analyzer{
-	determinism.Analyzer,
-	noalloc.Analyzer,
-	eventhandle.Analyzer,
+func main() {
+	os.Exit(vetMain(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
-	flag.Usage = usage
-	flag.Parse()
-	diags, err := run(".", flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rtseed-vet:", err)
-		os.Exit(2)
+// vetMain is the whole CLI behind a testable seam: it runs the suite over
+// patterns in dir and returns the process exit code (0 clean, 1 findings,
+// 2 usage/load/internal error).
+func vetMain(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtseed-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if err := print(os.Stdout, diags, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "rtseed-vet:", err)
-		os.Exit(2)
+	diags, err := suite.Run(dir, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "rtseed-vet:", err)
+		return 2
+	}
+	if err := suite.Print(stdout, diags, *jsonOut); err != nil {
+		fmt.Fprintln(stderr, "rtseed-vet:", err)
+		return 2
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: rtseed-vet [-json] [packages]\n\nAnalyzers:\n")
-	for _, a := range analyzers {
-		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: rtseed-vet [-json] [packages]\n\nAnalyzers:\n")
+	for _, a := range suite.Analyzers {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
 	}
-	flag.PrintDefaults()
-}
-
-// run loads the packages matching patterns and applies every analyzer whose
-// scope covers them, returning the combined findings sorted by position.
-func run(dir string, patterns []string) ([]lint.Diagnostic, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := lint.Load(dir, patterns...)
-	if err != nil {
-		return nil, err
-	}
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, pkg.Directives.Problems...)
-		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
-				continue
-			}
-			found, err := lint.RunAnalyzer(a, pkg)
-			if err != nil {
-				return nil, err
-			}
-			diags = append(diags, found...)
-		}
-	}
-	lint.SortDiagnostics(diags)
-	return diags, nil
-}
-
-func print(w io.Writer, diags []lint.Diagnostic, asJSON bool) error {
-	if asJSON {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "\t")
-		if diags == nil {
-			diags = []lint.Diagnostic{} // emit [] rather than null
-		}
-		return enc.Encode(diags)
-	}
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
-	}
-	return nil
+	fs.PrintDefaults()
 }

@@ -4,17 +4,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"go/token"
+	"os"
 	"strings"
 	"testing"
 
 	"rtseed/internal/lint"
+	"rtseed/internal/lint/suite"
 )
 
 // TestRunCleanOnAnnotatedPackages is the end-to-end check that the annotated
 // hot paths pass the full suite: loading, type-checking, directive parsing,
-// and all three analyzers over the engine and kernel.
+// and every analyzer over the engine and kernel.
 func TestRunCleanOnAnnotatedPackages(t *testing.T) {
-	diags, err := run("../..", []string{"./internal/engine", "./internal/kernel"})
+	diags, err := suite.Run("../..", []string{"./internal/engine", "./internal/kernel"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -23,9 +25,147 @@ func TestRunCleanOnAnnotatedPackages(t *testing.T) {
 	}
 }
 
+// --- exit codes over fixture trees -------------------------------------
+
+// vet runs the CLI against one of the testdata mini-modules and returns the
+// exit code plus captured output.
+func vet(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := vetMain(dir, args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitCodeCleanTree(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/clean")
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree printed findings: %q", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	code, stdout, _ := vet(t, "testdata/findings")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "findings.go:9:") || !strings.Contains(stdout, "[noalloc]") {
+		t.Errorf("finding lacks file:line and analyzer tag: %q", stdout)
+	}
+}
+
+func TestExitCodeLoadError(t *testing.T) {
+	code, _, stderr := vet(t, "testdata/broken")
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if stderr == "" {
+		t.Error("load error printed nothing to stderr")
+	}
+}
+
+func TestExitCodeBadFlag(t *testing.T) {
+	code, _, _ := vet(t, "testdata/clean", "-no-such-flag")
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}
+
+// --- -json against the published schema --------------------------------
+
+// schemaFinding mirrors schema.json exactly; DisallowUnknownFields makes the
+// decode fail if the CLI starts emitting fields the schema does not publish.
+type schemaFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func TestJSONOutputMatchesSchema(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/findings", "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr %q)", code, stderr)
+	}
+	dec := json.NewDecoder(strings.NewReader(stdout))
+	dec.DisallowUnknownFields()
+	var findings []schemaFinding
+	if err := dec.Decode(&findings); err != nil {
+		t.Fatalf("-json output does not strictly decode against the schema struct: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line < 1 || f.Col < 1 || f.Message == "" {
+			t.Errorf("finding violates schema required/minimum constraints: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	code, stdout, _ := vet(t, "testdata/clean", "-json")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestSchemaFileAgreesWithStruct keeps schema.json and the Go struct from
+// drifting apart: every property the schema publishes must be a field of the
+// struct's JSON surface and vice versa, and all must be required.
+func TestSchemaFileAgreesWithStruct(t *testing.T) {
+	raw, err := os.ReadFile("schema.json")
+	if err != nil {
+		t.Fatalf("reading published schema: %v", err)
+	}
+	var schema struct {
+		Type  string `json:"type"`
+		Items struct {
+			Properties           map[string]json.RawMessage `json:"properties"`
+			Required             []string                   `json:"required"`
+			AdditionalProperties bool                       `json:"additionalProperties"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema.json is not valid JSON: %v", err)
+	}
+	if schema.Type != "array" {
+		t.Errorf("schema type = %q, want array", schema.Type)
+	}
+	if schema.Items.AdditionalProperties {
+		t.Error("schema must forbid additional properties")
+	}
+	structFields := []string{"analyzer", "file", "line", "col", "message"}
+	for _, f := range structFields {
+		if _, ok := schema.Items.Properties[f]; !ok {
+			t.Errorf("schema.json lacks property %q emitted by the CLI", f)
+		}
+	}
+	if len(schema.Items.Properties) != len(structFields) {
+		t.Errorf("schema publishes %d properties, CLI emits %d", len(schema.Items.Properties), len(structFields))
+	}
+	required := map[string]bool{}
+	for _, r := range schema.Items.Required {
+		required[r] = true
+	}
+	for _, f := range structFields {
+		if !required[f] {
+			t.Errorf("schema does not require %q", f)
+		}
+	}
+}
+
+// --- output formatting --------------------------------------------------
+
 func TestPrintJSONEmitsArray(t *testing.T) {
 	var buf bytes.Buffer
-	if err := print(&buf, nil, true); err != nil {
+	if err := suite.Print(&buf, nil, true); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(buf.String()); got != "[]" {
@@ -41,7 +181,7 @@ func TestPrintJSONRoundTrip(t *testing.T) {
 		Message: "call to time.Now",
 	}}
 	var buf bytes.Buffer
-	if err := print(&buf, in, true); err != nil {
+	if err := suite.Print(&buf, in, true); err != nil {
 		t.Fatal(err)
 	}
 	var out []lint.Diagnostic
@@ -61,7 +201,7 @@ func TestPrintText(t *testing.T) {
 		Message: "append may grow",
 	}}
 	var buf bytes.Buffer
-	if err := print(&buf, in, false); err != nil {
+	if err := suite.Print(&buf, in, false); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := buf.String(), "y.go:9:2: [noalloc] append may grow\n"; got != want {

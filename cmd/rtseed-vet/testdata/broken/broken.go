@@ -1,0 +1,6 @@
+// Package broken does not compile: the suite must exit 2 here.
+package broken
+
+func Oops() int {
+	return undefinedIdentifier
+}

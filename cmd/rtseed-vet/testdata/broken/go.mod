@@ -1,0 +1,3 @@
+module vetfixture/broken
+
+go 1.24

@@ -1,0 +1,3 @@
+module vetfixture/clean
+
+go 1.24

@@ -1,0 +1,10 @@
+// Package findings violates the noalloc contract: the suite must exit 1
+// here with a file:line finding.
+package findings
+
+// Grow allocates despite its annotation.
+//
+//rtseed:noalloc
+func Grow(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,3 @@
+module vetfixture/findings
+
+go 1.24

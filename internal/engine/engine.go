@@ -141,6 +141,7 @@ var ErrPast = errors.New("engine: event scheduled in the past")
 // simulation bug, not a recoverable condition.
 //
 //rtseed:noalloc
+//rtseed:kernelctx-entry public scheduling API; the engine is single-goroutine, so callers are serialized with the event loop
 func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast)) //rtseed:alloc-ok cold panic path; never taken in a correct simulation
@@ -177,6 +178,7 @@ func (e *Engine) After(d time.Duration, priority int, fn func()) Event {
 // was already cancelled, or is the zero Event is a no-op.
 //
 //rtseed:noalloc
+//rtseed:kernelctx-entry public cancellation API, serialized with the event loop like Schedule
 func (e *Engine) Cancel(ev Event) {
 	if !ev.Scheduled() {
 		return
@@ -193,6 +195,7 @@ func (e *Engine) Cancel(ev Event) {
 // It reports whether an event was processed.
 //
 //rtseed:noalloc
+//rtseed:kernelctx-entry the event-loop pump: every callback it fires runs in kernel context
 func (e *Engine) Step() bool {
 	e.ensureMin()
 	if len(e.queue) == 0 {
@@ -220,6 +223,8 @@ func (e *Engine) Run() {
 
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to deadline. Events scheduled after deadline remain queued.
+//
+//rtseed:kernelctx-entry the bounded event-loop pump; peeks the wheel between steps
 func (e *Engine) RunUntil(deadline Time) {
 	for {
 		e.ensureMin()
@@ -239,6 +244,7 @@ func (e *Engine) Pending() int { return len(e.queue) + e.wheelCount }
 // heapPush appends n to the near-horizon heap and restores the heap order.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) heapPush(n *node) {
 	n.index = int32(len(e.queue))
 	e.queue = append(e.queue, n) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
@@ -249,6 +255,7 @@ func (e *Engine) heapPush(n *node) {
 // releases the node to the free list.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) remove(i int) {
 	n := e.queue[i]
 	last := len(e.queue) - 1
@@ -269,6 +276,7 @@ func (e *Engine) remove(i int) {
 // release invalidates outstanding handles and returns n to the free list.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) release(n *node) {
 	n.index = idxFree
 	n.gen++ // invalidate outstanding handles before the node is recycled
@@ -277,6 +285,7 @@ func (e *Engine) release(n *node) {
 }
 
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) siftUp(i int) {
 	q := e.queue
 	n := q[i]
@@ -297,6 +306,7 @@ func (e *Engine) siftUp(i int) {
 // siftDown restores the heap below i, reporting whether the node moved.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) siftDown(i int) bool {
 	q := e.queue
 	n := q[i]

@@ -64,6 +64,7 @@ func tickOf(t Time) uint64 { return uint64(t) >> tickShift }
 // guarantees tickOf(n.at) > curTick.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) wheelPlace(n *node) {
 	tick := tickOf(n.at)
 	delta := tick - e.curTick
@@ -109,6 +110,7 @@ func (e *Engine) wheelPlace(n *node) {
 // wheelRemove unlinks n from its slot in O(1).
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) wheelRemove(n *node) {
 	l, s := int(n.level), int(n.slot)
 	if n.prev != nil {
@@ -172,6 +174,7 @@ func (e *Engine) wheelNextSlot() (level int, lb uint64) {
 // condition.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (e *Engine) ensureMin() {
 	for e.wheelCount > 0 {
 		// Fast path: wheelMinLB never exceeds the true minimum slot base,

@@ -27,6 +27,7 @@ func (cv *CondVar) Name() string { return cv.name }
 // Waiters returns the number of blocked threads.
 func (cv *CondVar) Waiters() int { return cv.waiters.Len() }
 
+//rtseed:kernelctx
 func (k *Kernel) handleCondWait(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpCondWait, t.cpuID)
 	k.service(t, cost, func() {
@@ -38,6 +39,7 @@ func (k *Kernel) handleCondWait(t *Thread, req request) {
 	})
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleCondSignal(t *Thread, req request) {
 	// Price the signal with the cross-core transfer penalty when the woken
 	// thread lives on another core.
@@ -52,6 +54,7 @@ func (k *Kernel) handleCondSignal(t *Thread, req request) {
 	})
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleCondBroadcast(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpCondSignal, t.cpuID)
 	// Each additional waiter adds another signal's worth of work.
@@ -67,6 +70,8 @@ func (k *Kernel) handleCondBroadcast(t *Thread, req request) {
 }
 
 // wakeOne unblocks the front waiter of cv, if any.
+//
+//rtseed:kernelctx
 func (k *Kernel) wakeOne(cv *CondVar) {
 	n := cv.waiters.PopFront()
 	if n == nil {

@@ -50,7 +50,10 @@ func New(eng *engine.Engine, mach *machine.Machine) *Kernel {
 	k.cpus = make([]*cpu, n)
 	for i := range k.cpus {
 		c := newCPU(machine.HWThread(i))
+		// The per-CPU engine callbacks run inside Step's event dispatch.
+		//rtseed:kernelctx
 		c.dispatchFn = func() { k.finishDispatch(c) }
+		//rtseed:kernelctx
 		c.serviceFn = func() { k.finishService(c) }
 		k.cpus[i] = c
 	}
@@ -78,6 +81,7 @@ func (k *Kernel) Trace() *trace.Tracer { return k.tr }
 // nil check and nothing else.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) emit(t *Thread, kind trace.Kind, arg uint64) {
 	if k.tr != nil {
 		k.tr.Emit(k.eng.Now(), uint16(t.cpuID), uint32(t.id), kind, arg)
@@ -153,6 +157,7 @@ func badHWThread(h machine.HWThread) {
 // (SCHED_FIFO semantics for preempted threads).
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) makeReady(t *Thread, atFront bool) {
 	c := k.cpu(t.cpuID)
 	t.state = StateReady
@@ -164,6 +169,7 @@ func (k *Kernel) makeReady(t *Thread, atFront bool) {
 // considerCPU kicks dispatch or preemption on c after its run queue changed.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) considerCPU(c *cpu) {
 	top := c.runq.topPriority()
 	if top < 0 {
@@ -181,6 +187,7 @@ func (k *Kernel) considerCPU(c *cpu) {
 // front of its priority level, then dispatches the higher-priority thread.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) preempt(c *cpu) {
 	t := c.current
 	if t == nil || t.state != StateComputing {
@@ -210,6 +217,7 @@ func (k *Kernel) preempt(c *cpu) {
 // highest-priority ready thread, charges the switch cost, and then runs it.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) scheduleDispatch(c *cpu) {
 	if c.busy || c.current != nil {
 		return
@@ -227,6 +235,7 @@ func (k *Kernel) scheduleDispatch(c *cpu) {
 // finishDispatch completes the context switch scheduled by scheduleDispatch.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) finishDispatch(c *cpu) {
 	t := c.dispatchT
 	c.dispatchT = nil
@@ -249,6 +258,7 @@ func (k *Kernel) finishDispatch(c *cpu) {
 // it was parked in.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) resumeOnCPU(t *Thread) {
 	if t.computeRemaining > 0 || t.inCompute {
 		k.startCompute(t)
@@ -261,6 +271,7 @@ func (k *Kernel) resumeOnCPU(t *Thread) {
 // machine occupancy used for SMT contention pricing.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) setCurrent(c *cpu, t *Thread) {
 	c.current = t
 	if t != nil {
@@ -273,6 +284,8 @@ func (k *Kernel) setCurrent(c *cpu, t *Thread) {
 
 // resumeThread hands the CPU to t's host code and handles the next kernel
 // request it issues. Exactly one thread runs host code at a time.
+//
+//rtseed:kernelctx
 func (k *Kernel) resumeThread(t *Thread, reply replyMsg) {
 	t.reply = reply
 	t.run <- resumeMsg{}
@@ -283,6 +296,7 @@ func (k *Kernel) resumeThread(t *Thread, reply replyMsg) {
 // startCompute begins or resumes a compute burst for the running thread t.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) startCompute(t *Thread) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {
@@ -315,6 +329,7 @@ func (k *Kernel) startCompute(t *Thread) {
 // finishCompute completes the burst armed by startCompute.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) finishCompute(t *Thread) {
 	t.computeDone = engine.Event{}
 	t.computeRan += t.computeRemaining
@@ -332,6 +347,7 @@ func (k *Kernel) finishCompute(t *Thread) {
 // restored (Table I).
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) interruptCompute(t *Thread) {
 	if t.computeDone.Scheduled() {
 		consumed := k.eng.Now().Sub(t.computeStart)
@@ -356,6 +372,7 @@ func (k *Kernel) interruptCompute(t *Thread) {
 // service occupies t's CPU for cost (non-preemptible) and then runs then.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {
@@ -370,6 +387,7 @@ func (k *Kernel) service(t *Thread, cost time.Duration, then func()) {
 // finishService completes the costed kernel service armed by service.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) finishService(c *cpu) {
 	c.busy = false
 	then := c.serviceThen
@@ -393,6 +411,7 @@ func nominal(wall time.Duration, factor float64) time.Duration {
 // priority level and the CPU re-dispatches.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) handleYield(t *Thread) {
 	c := k.cpu(t.cpuID)
 	k.setCurrent(c, nil)
@@ -408,6 +427,7 @@ func (k *Kernel) handleYield(t *Thread) {
 // dispatches the next ready thread, if any.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) releaseCPU(t *Thread) {
 	c := k.cpu(t.cpuID)
 	if c.current != t {

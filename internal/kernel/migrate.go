@@ -18,6 +18,7 @@ func (c *TCB) Migrate(cpu machine.HWThread) {
 	c.t.syscall(request{kind: reqMigrate, remote: cpu})
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleMigrate(t *Thread, req request) {
 	target := req.remote
 	if !k.mach.Topology().Contains(target) {

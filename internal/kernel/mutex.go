@@ -46,6 +46,7 @@ func (c *TCB) MutexUnlock(m *Mutex) {
 	c.t.syscall(request{kind: reqMutexUnlock, mutex: m})
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleMutexLock(t *Thread, req request) {
 	m := req.mutex
 	if m.owner == nil {
@@ -64,6 +65,7 @@ func (k *Kernel) handleMutexLock(t *Thread, req request) {
 	k.releaseCPU(t)
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleMutexUnlock(t *Thread, req request) {
 	m := req.mutex
 	if m.owner != t {

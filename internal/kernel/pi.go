@@ -17,6 +17,8 @@ func (k *Kernel) NewPIMutex(name string) *Mutex {
 
 // boostOwner raises the owner's effective priority to the highest blocked
 // waiter's, requeueing it if it sits on a run queue.
+//
+//rtseed:kernelctx
 func (k *Kernel) boostOwner(m *Mutex) {
 	if !m.inherit || m.owner == nil {
 		return
@@ -38,6 +40,8 @@ func (k *Kernel) boostOwner(m *Mutex) {
 
 // restoreOwner drops t back to its base priority after it releases a PI
 // mutex.
+//
+//rtseed:kernelctx
 func (k *Kernel) restoreOwner(t *Thread) {
 	if t.base == 0 {
 		return
@@ -49,6 +53,8 @@ func (k *Kernel) restoreOwner(t *Thread) {
 
 // setEffectivePriority changes a thread's scheduling priority in place,
 // fixing up the run queue when the thread is ready.
+//
+//rtseed:kernelctx
 func (k *Kernel) setEffectivePriority(t *Thread, prio int) {
 	if t.prio == prio {
 		return

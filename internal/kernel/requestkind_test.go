@@ -1,0 +1,45 @@
+package kernel
+
+import "testing"
+
+func TestRequestKindString(t *testing.T) {
+	cases := []struct {
+		kind requestKind
+		want string
+	}{
+		{reqCompute, "compute"},
+		{reqSleepUntil, "sleep-until"},
+		{reqCondWait, "cond-wait"},
+		{reqCondSignal, "cond-signal"},
+		{reqCondBroadcast, "cond-broadcast"},
+		{reqTimerSet, "timer-set"},
+		{reqTimerStop, "timer-stop"},
+		{reqSetAlarmMask, "set-alarm-mask"},
+		{reqChargeOp, "charge-op"},
+		{reqChargeOpRemote, "charge-op-remote"},
+		{reqMutexLock, "mutex-lock"},
+		{reqMutexUnlock, "mutex-unlock"},
+		{reqMigrate, "migrate"},
+		{reqYield, "yield"},
+		{reqExit, "exit"},
+		{requestKind(0), "unknown"},
+		{requestKind(99), "unknown"},
+	}
+	seen := make(map[string]requestKind)
+	for _, c := range cases {
+		got := c.kind.String()
+		if got != c.want {
+			t.Errorf("requestKind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+		if got == "unknown" {
+			continue
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("requestKind(%d) and requestKind(%d) share the name %q", int(prev), int(c.kind), got)
+		}
+		seen[got] = c.kind
+	}
+	if len(seen) != 15 {
+		t.Errorf("covered %d named request kinds, want 15", len(seen))
+	}
+}

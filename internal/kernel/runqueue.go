@@ -43,6 +43,7 @@ type fifoLevel struct {
 // bare array index.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (q *runQueue) enqueue(t *Thread, atFront bool) {
 	if t.prio < MinPriority || t.prio > MaxPriority {
 		panic("kernel: enqueue priority outside [MinPriority, MaxPriority]")
@@ -76,6 +77,7 @@ func (q *runQueue) enqueue(t *Thread, atFront bool) {
 // pop removes and returns the highest-priority thread, or nil when empty.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (q *runQueue) pop() *Thread {
 	if q.count == 0 {
 		return nil
@@ -99,6 +101,7 @@ func (q *runQueue) pop() *Thread {
 // remove detaches t from the queue; no-op if it is not queued.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (q *runQueue) remove(t *Thread) {
 	if !t.queued {
 		return

@@ -29,6 +29,8 @@ func (k *Kernel) Utilization(h machine.HWThread, from engine.Time) float64 {
 }
 
 // accountRun credits d of busy time to c and compute time to t.
+//
+//rtseed:kernelctx
 func (k *Kernel) accountRun(c *cpu, t *Thread, d time.Duration) {
 	c.busyTime += d
 	if t != nil {

@@ -196,11 +196,16 @@ func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
 	// allocate on the scheduling path. (The ready queues use the intrusive
 	// qnext/qprev links and need no node at all.)
 	t.cvNode = &list.Node[*Thread]{Value: t}
+	// The pre-allocated per-thread callbacks below all run inside the
+	// engine's event dispatch.
+	//rtseed:kernelctx
 	t.computeDoneFn = func() { k.finishCompute(t) }
+	//rtseed:kernelctx
 	t.alarmFireFn = func() {
 		t.timer = engine.Event{}
 		k.deliverAlarm(t)
 	}
+	//rtseed:kernelctx
 	t.wakeFn = func() {
 		if t.state != StateSleeping {
 			return
@@ -208,13 +213,17 @@ func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
 		t.dispatchOp = machine.OpDispatch
 		k.makeReady(t, false)
 	}
+	//rtseed:kernelctx
 	t.interruptDoneFn = func() {
 		remaining := t.computeRemaining
 		t.computeRemaining = 0
 		k.resumeThread(t, replyMsg{completed: false, ran: t.computeRan, unran: remaining})
 	}
+	//rtseed:kernelctx
 	t.timerSetFn = func() { k.finishTimerSet(t) }
+	//rtseed:kernelctx
 	t.timerStopFn = func() { k.finishTimerStop(t) }
+	//rtseed:kernelctx
 	t.resumeOKFn = func() { k.resumeThread(t, replyMsg{completed: true}) }
 	k.threads = append(k.threads, t)
 	k.mach.BindRT(t.cpuID)
@@ -231,6 +240,8 @@ func (k *Kernel) MustNewThread(cfg ThreadConfig, body func(*TCB)) *Thread {
 }
 
 // Start makes the thread ready at the current virtual time.
+//
+//rtseed:kernelctx-entry quiescent setup: runs while the engine is stopped, serialized with the event loop
 func (t *Thread) Start() {
 	if t.started {
 		panic("kernel: thread started twice")
@@ -319,6 +330,44 @@ const (
 	reqExit
 )
 
+// String implements fmt.Stringer, naming the syscall a request models.
+func (k requestKind) String() string {
+	switch k {
+	case reqCompute:
+		return "compute"
+	case reqSleepUntil:
+		return "sleep-until"
+	case reqCondWait:
+		return "cond-wait"
+	case reqCondSignal:
+		return "cond-signal"
+	case reqCondBroadcast:
+		return "cond-broadcast"
+	case reqTimerSet:
+		return "timer-set"
+	case reqTimerStop:
+		return "timer-stop"
+	case reqSetAlarmMask:
+		return "set-alarm-mask"
+	case reqChargeOp:
+		return "charge-op"
+	case reqChargeOpRemote:
+		return "charge-op-remote"
+	case reqMutexLock:
+		return "mutex-lock"
+	case reqMutexUnlock:
+		return "mutex-unlock"
+	case reqMigrate:
+		return "migrate"
+	case reqYield:
+		return "yield"
+	case reqExit:
+		return "exit"
+	default:
+		return "unknown"
+	}
+}
+
 type request struct {
 	kind          requestKind
 	dur           time.Duration
@@ -346,6 +395,8 @@ func (t *Thread) syscall(req request) replyMsg {
 // handleRequest processes the kernel request recorded by the thread that
 // just yielded. Exactly one of the branches either resumes the thread
 // (directly or via a costed service) or blocks it and releases its CPU.
+//
+//rtseed:kernelctx
 func (k *Kernel) handleRequest(t *Thread) {
 	req := t.req
 	switch req.kind {
@@ -386,6 +437,7 @@ func (k *Kernel) handleRequest(t *Thread) {
 	}
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleCompute(t *Thread, req request) {
 	t.computeRemaining = req.dur
 	t.computeRan = 0
@@ -406,6 +458,7 @@ func (k *Kernel) handleCompute(t *Thread, req request) {
 	k.startCompute(t)
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleSleep(t *Thread, req request) {
 	if req.at <= k.eng.Now() {
 		k.resumeThread(t, replyMsg{completed: true})
@@ -418,6 +471,7 @@ func (k *Kernel) handleSleep(t *Thread, req request) {
 	k.eng.Schedule(req.at, prioRelease, t.wakeFn)
 }
 
+//rtseed:kernelctx
 func (k *Kernel) handleExit(t *Thread) {
 	t.state = StateExited
 	k.emit(t, trace.KindExit, 0)

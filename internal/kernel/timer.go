@@ -11,6 +11,7 @@ import (
 // timer.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) handleTimerSet(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
 	k.service(t, cost, t.timerSetFn)
@@ -21,6 +22,7 @@ func (k *Kernel) handleTimerSet(t *Thread, req request) {
 // in the call.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) finishTimerSet(t *Thread) {
 	k.eng.Cancel(t.timer)
 	at := t.req.at
@@ -36,6 +38,7 @@ func (k *Kernel) finishTimerSet(t *Thread) {
 // clears any pending, undelivered SIGALRM from it.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) handleTimerStop(t *Thread) {
 	cost := k.mach.Cost(machine.OpTimerProgram, t.cpuID)
 	k.service(t, cost, t.timerStopFn)
@@ -44,6 +47,7 @@ func (k *Kernel) handleTimerStop(t *Thread) {
 // finishTimerStop completes the disarm after its service cost elapsed.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) finishTimerStop(t *Thread) {
 	k.eng.Cancel(t.timer)
 	t.timer = engine.Event{}
@@ -58,6 +62,7 @@ func (k *Kernel) finishTimerStop(t *Thread) {
 // mask is never cleared (the try/catch pathology of Table I).
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) deliverAlarm(t *Thread) {
 	t.pendingAlarm = true
 	k.emit(t, trace.KindTimerFire, 0)
@@ -67,6 +72,7 @@ func (k *Kernel) deliverAlarm(t *Thread) {
 // checkAlarm delivers a pending SIGALRM if t is currently interruptible.
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (k *Kernel) checkAlarm(t *Thread) {
 	if !t.pendingAlarm || t.alarmMasked || !t.interruptible {
 		return
@@ -82,6 +88,8 @@ func (k *Kernel) checkAlarm(t *Thread) {
 // handleSetAlarmMask blocks or unblocks SIGALRM for the thread
 // (pthread_sigmask). Unblocking with a signal pending delivers it at the
 // thread's next interruptible burst.
+//
+//rtseed:kernelctx
 func (k *Kernel) handleSetAlarmMask(t *Thread, req request) {
 	t.alarmMasked = req.mask
 	k.resumeThread(t, replyMsg{completed: true})

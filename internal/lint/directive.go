@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -28,11 +29,25 @@ import (
 //     site, or — on a struct field or package-level variable declaration —
 //     blesses that location as a checked long-term holder of engine.Event
 //     handles. The reason is mandatory.
+//   - //rtseed:kernelctx goes in the doc comment of a function declaration
+//     (or on the line immediately above it, or immediately above a function
+//     literal) and marks the body as kernel-context code: it may only be
+//     reached from other kernelctx code or from a kernelctx-entry.
+//   - //rtseed:kernelctx-entry <reason> marks a function as a blessed
+//     transition from plain code into kernel context (the event-loop pump,
+//     quiescent setup, serialized simulated-thread helpers). The reason is
+//     mandatory.
+//   - //rtseed:partial-ok <reason> waives an exhaustive finding on a switch
+//     statement that deliberately handles a subset of an enum's values. The
+//     reason is mandatory.
 const (
 	DirNoalloc          = "noalloc"
 	DirNondeterministic = "nondeterministic-ok"
 	DirAllocOK          = "alloc-ok"
 	DirHandleOK         = "handle-ok"
+	DirKernelCtx        = "kernelctx"
+	DirKernelCtxEntry   = "kernelctx-entry"
+	DirPartialOK        = "partial-ok"
 )
 
 // reasonRequired records which directives must carry a justification.
@@ -41,6 +56,16 @@ var reasonRequired = map[string]bool{
 	DirNondeterministic: true,
 	DirAllocOK:          true,
 	DirHandleOK:         true,
+	DirKernelCtx:        false,
+	DirKernelCtxEntry:   true,
+	DirPartialOK:        true,
+}
+
+// KnownDirectives lists every directive name the grammar accepts, in
+// documentation order.
+var KnownDirectives = []string{
+	DirNoalloc, DirNondeterministic, DirAllocOK, DirHandleOK,
+	DirKernelCtx, DirKernelCtxEntry, DirPartialOK,
 }
 
 // A Directive is one parsed //rtseed: comment.
@@ -84,8 +109,8 @@ func (d *Directives) add(pos token.Position, text string) {
 	needReason, known := reasonRequired[name]
 	switch {
 	case !known:
-		d.problem(pos, "unknown directive //rtseed:%s (known: %s, %s, %s, %s)",
-			name, DirNoalloc, DirNondeterministic, DirAllocOK, DirHandleOK)
+		d.problem(pos, "unknown directive //rtseed:%s (known: %s)",
+			name, strings.Join(KnownDirectives, ", "))
 		return
 	case needReason && reason == "":
 		d.problem(pos, "//rtseed:%s needs a reason: //rtseed:%s <why this is safe>", name, name)
@@ -120,11 +145,47 @@ func (d *Directives) at(filename string, line int, name string) *Directive {
 	return nil
 }
 
-// forDecl returns the directive of the given name attached to a function
+// All returns every well-formed directive of the package, sorted by file,
+// line, and declaration order within the line. The pointers are stable: the
+// same *Directive is returned by at/forDecl/ForLit lookups, so audit passes
+// can key usage maps on them.
+func (d *Directives) All() []*Directive {
+	var out []*Directive
+	for _, byLine := range d.byLine {
+		for _, dirs := range byLine {
+			for i := range dirs {
+				out = append(out, &dirs[i])
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+// ForLit returns the directive of the given name attached to a function
+// literal: on the literal's first line or on the line immediately above it.
+func (d *Directives) ForLit(fset *token.FileSet, lit *ast.FuncLit, name string) *Directive {
+	pos := fset.Position(lit.Pos())
+	if dir := d.at(pos.Filename, pos.Line, name); dir != nil {
+		return dir
+	}
+	return d.at(pos.Filename, pos.Line-1, name)
+}
+
+// ForDecl returns the directive of the given name attached to a function
 // declaration: in its doc comment, or on the line immediately above the
 // declaration (covering directives separated from the doc by a blank line
 // or placed without any doc text).
-func (d *Directives) forDecl(fset *token.FileSet, decl *ast.FuncDecl, name string) *Directive {
+func (d *Directives) ForDecl(fset *token.FileSet, decl *ast.FuncDecl, name string) *Directive {
 	if decl.Doc != nil {
 		for _, c := range decl.Doc.List {
 			pos := fset.Position(c.Pos())

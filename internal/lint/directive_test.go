@@ -95,13 +95,13 @@ func bare() {}
 			decls = append(decls, fd)
 		}
 	}
-	if d.forDecl(fset, decls[0], DirNoalloc) == nil {
+	if d.ForDecl(fset, decls[0], DirNoalloc) == nil {
 		t.Error("doc-attached directive not found")
 	}
-	if d.forDecl(fset, decls[1], DirNoalloc) != nil {
+	if d.ForDecl(fset, decls[1], DirNoalloc) != nil {
 		t.Error("a blank line must detach a directive from the declaration below it")
 	}
-	if d.forDecl(fset, decls[2], DirNoalloc) != nil {
+	if d.ForDecl(fset, decls[2], DirNoalloc) != nil {
 		t.Error("bare function must not inherit a directive")
 	}
 }

@@ -1,0 +1,167 @@
+// Package exhaustive implements the enum-switch coverage analyzer.
+//
+// RT-Seed's behavior forks on small declared enums at every layer: thread
+// lifecycle (kernel.State), the request protocol (kernel.requestKind), trace
+// record kinds (trace.Kind), scheduler policies. A switch that silently
+// ignores a newly added member is exactly how "add a trace kind" corrupts
+// the analyzer and Perfetto decoders three packages away. This analyzer
+// makes the compiler-invisible rule checkable: a switch over a module enum
+// must either cover every declared member or carry a reasoned
+// //rtseed:partial-ok <reason> on the switch statement.
+//
+// An enum, for this analyzer, is a named type declared in this module whose
+// underlying type is an integer and that has at least two package-scope
+// constants — the iota-block idiom. Members are matched by constant value,
+// so aliases (two names for one value) count as one member. Sentinel
+// members whose name ends in "max", "count", or "limit" (any case) bound
+// the enum rather than belong to it and are not required. Unexported
+// members of another package's enum are unreachable from the switch and are
+// likewise not required. A default clause does not count as coverage — it
+// is precisely the arm that hides missing members; and a case arm with a
+// non-constant expression makes the switch inscrutable, so such switches
+// are skipped entirely.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rtseed/internal/lint"
+)
+
+// Analyzer is the enum-switch coverage checker.
+var Analyzer = &lint.Analyzer{
+	Name: "exhaustive",
+	Doc: "check that switches over module enums cover every declared member\n\n" +
+		"A switch whose tag is a module-declared integer enum (a named type with\n" +
+		"an iota constant block) must have a case for every member value, or wear\n" +
+		"//rtseed:partial-ok <reason>. Default clauses do not count as coverage.",
+	Run: run,
+}
+
+// member is one declared enum constant.
+type member struct {
+	name  string
+	value string // exact constant representation, the dedup/coverage key
+}
+
+// enumMembers returns the required members of an enum type declared in pkg
+// or one of its dependencies, or nil if typ is not an enum by this
+// analyzer's definition.
+func enumMembers(pkg *lint.Package, typ types.Type) (string, []member) {
+	named, ok := types.Unalias(typ).(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil
+	}
+	declPkg := obj.Pkg()
+	if !strings.HasPrefix(declPkg.Path(), "rtseed/") {
+		return "", nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return "", nil
+	}
+	foreign := declPkg != pkg.Types
+
+	var members []member
+	total := 0
+	seen := map[string]bool{}
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		total++
+		if isSentinel(name) {
+			continue
+		}
+		if foreign && !c.Exported() {
+			continue
+		}
+		v := c.Val().ExactString()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		members = append(members, member{name: name, value: v})
+	}
+	if total < 2 {
+		return "", nil
+	}
+	return declPkg.Name() + "." + obj.Name(), members
+}
+
+// isSentinel reports whether an enum member name bounds the enum (kindMax,
+// stateCount, ...) rather than belongs to it.
+func isSentinel(name string) bool {
+	lower := strings.ToLower(name)
+	for _, suffix := range []string{"max", "count", "limit"} {
+		if strings.HasSuffix(lower, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	pass.InspectFuncs(func(file *ast.File, decl *ast.FuncDecl, n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tv, ok := pass.TypesInfo().Types[sw.Tag]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		enumName, members := enumMembers(pass.Pkg, tv.Type)
+		if members == nil {
+			return true
+		}
+
+		covered := map[string]bool{}
+		for _, stmt := range sw.Body.List {
+			clause, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, expr := range clause.List {
+				ctv, ok := pass.TypesInfo().Types[expr]
+				if !ok || ctv.Value == nil {
+					// A non-constant case arm: coverage is undecidable,
+					// leave the switch alone.
+					return true
+				}
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+
+		var missing []member
+		for _, m := range members {
+			if !covered[m.value] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) == 0 {
+			return true
+		}
+		if pass.Waived(sw.Pos(), lint.DirPartialOK) {
+			return true
+		}
+		sort.Slice(missing, func(i, j int) bool { return missing[i].name < missing[j].name })
+		names := make([]string, len(missing))
+		for i, m := range missing {
+			names[i] = m.name
+		}
+		pass.Reportf(sw.Pos(), "switch over %s misses %s (cover them or add //rtseed:partial-ok <reason>)",
+			enumName, strings.Join(names, ", "))
+		return true
+	})
+	return nil
+}

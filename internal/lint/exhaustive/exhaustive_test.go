@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer, "../testdata/src/exhaustive")
+}

@@ -1,0 +1,142 @@
+// Package kernelctx implements the kernel-context discipline analyzer.
+//
+// RT-Seed's simulated kernel mutates shared scheduler state — run queues,
+// the timing wheel, per-CPU trace rings — without locks, relying on every
+// mutation happening inside the single-threaded simulation context. The Go
+// compiler cannot see that rule; this analyzer can. Functions annotated
+// //rtseed:kernelctx form the protected set, and the only legal ways in are
+// other kernelctx functions and the blessed transitions annotated
+// //rtseed:kernelctx-entry <reason> (the event-loop pump, quiescent setup
+// code, serialized simulated-thread helpers).
+//
+// The verdict tiers mirror the call graph's confidence tiers:
+//
+//   - A Static or Defer edge from plain code into a kernelctx function is a
+//     violation, reported with the full offending call path.
+//   - A Go edge into a kernelctx function is always a violation, even from
+//     kernelctx code: the spawned goroutine leaves the serialized context by
+//     construction.
+//   - A Ref edge from plain code is a violation too — handing out a
+//     kernelctx function as a value lets it escape to arbitrary callers the
+//     graph can no longer see.
+//   - Interface and Dynamic edges are deliberately not judged: they
+//     over-approximate, and a discipline check that cries wolf gets waived
+//     into uselessness. Closures that flow through function values carry
+//     the discipline by being annotated themselves.
+//
+// Context is computed per body: a declared function is kernelctx or entry by
+// annotation; a function literal is kernelctx if annotated on its own line
+// (or the line above), is always plain if go-spawned, and otherwise inherits
+// its lexical parent's context — a closure built inside kernel code and
+// invoked synchronously stays in context.
+package kernelctx
+
+import (
+	"fmt"
+
+	"rtseed/internal/lint"
+	"rtseed/internal/lint/callgraph"
+)
+
+// Analyzer is the kernelctx discipline checker.
+var Analyzer = &lint.Analyzer{
+	Name: "kernelctx",
+	Doc: "check that //rtseed:kernelctx functions are reached only from kernel context\n\n" +
+		"Functions annotated //rtseed:kernelctx may only be called from other\n" +
+		"kernelctx functions or from //rtseed:kernelctx-entry <reason> functions.\n" +
+		"Calls from plain code, go statements targeting kernelctx functions, and\n" +
+		"kernelctx function values escaping to plain code are findings; each one\n" +
+		"prints the offending call path.",
+	RunModule: run,
+}
+
+// context classifies one call-graph node for the discipline check.
+type context int
+
+const (
+	plain context = iota
+	kernel
+	entry
+)
+
+// classifier computes and memoizes node contexts over one call graph.
+type classifier struct {
+	ctx map[*callgraph.Node]context
+}
+
+func (c *classifier) of(n *callgraph.Node) context {
+	if ctx, ok := c.ctx[n]; ok {
+		return ctx
+	}
+	// Mark before recursing: lexical parents cannot cycle, but the guard
+	// keeps a malformed graph from hanging the analyzer.
+	c.ctx[n] = plain
+	ctx := c.classify(n)
+	c.ctx[n] = ctx
+	return ctx
+}
+
+func (c *classifier) classify(n *callgraph.Node) context {
+	dirs := n.Pkg.Directives
+	if n.Decl != nil {
+		if dirs.ForDecl(n.Pkg.Fset, n.Decl, lint.DirKernelCtx) != nil {
+			return kernel
+		}
+		if dirs.ForDecl(n.Pkg.Fset, n.Decl, lint.DirKernelCtxEntry) != nil {
+			return entry
+		}
+		return plain
+	}
+	if dirs.ForLit(n.Pkg.Fset, n.Lit, lint.DirKernelCtx) != nil {
+		return kernel
+	}
+	if n.GoSpawned {
+		// A go-spawned literal starts on a fresh goroutine: it can never
+		// inherit kernel context, only be annotated into it (handled above,
+		// for literals handed to a serialized executor).
+		return plain
+	}
+	if n.Parent != nil {
+		// An entry's synchronous literals run inside the transition the
+		// entry blessed, so they inherit kernel context, not entry status.
+		if pc := c.of(n.Parent); pc != plain {
+			return kernel
+		}
+	}
+	return plain
+}
+
+func run(mp *lint.ModulePass) error {
+	g := callgraph.Build(mp.Pkgs)
+	c := &classifier{ctx: map[*callgraph.Node]context{}}
+
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			callee := e.Callee
+			if c.of(callee) != kernel {
+				continue
+			}
+			callerCtx := c.of(n)
+			var verdict string
+			//rtseed:partial-ok Interface/Dynamic edges are deliberately not judged (see package doc)
+			switch e.Kind {
+			case callgraph.Static, callgraph.Defer:
+				if callerCtx == plain {
+					verdict = fmt.Sprintf("%s is //rtseed:kernelctx but is called from plain code", callee.Name())
+				}
+			case callgraph.Go:
+				verdict = fmt.Sprintf("%s is //rtseed:kernelctx but is spawned on a new goroutine, leaving kernel context", callee.Name())
+			case callgraph.Ref:
+				if callerCtx == plain && callee.Func != nil {
+					verdict = fmt.Sprintf("%s is //rtseed:kernelctx but escapes as a function value in plain code", callee.Name())
+				}
+			}
+			if verdict == "" {
+				continue
+			}
+			path := append(g.CallerPath(n), callee)
+			mp.Reportf(n.Pkg, e.Pos, "%s (path: %s)", verdict, callgraph.FormatPath(path))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package kernelctx_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/kernelctx"
+)
+
+func TestKernelCtx(t *testing.T) {
+	analysistest.Run(t, kernelctx.Analyzer, "../testdata/src/kernelctx")
+}

@@ -21,7 +21,10 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant checker.
+// An Analyzer describes one invariant checker. Exactly one of Run and
+// RunModule is set: Run analyzes one package at a time, RunModule sees the
+// whole loaded package set at once (the call-graph analyzers need
+// cross-package edges).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -json output.
 	Name string
@@ -33,6 +36,10 @@ type Analyzer struct {
 	AppliesTo func(importPath string) bool
 	// Run performs the analysis on one package.
 	Run func(*Pass) error
+	// RunModule performs a whole-program analysis over every loaded
+	// package. Module analyzers see exactly the packages the driver loaded:
+	// running rtseed-vet on a sub-pattern narrows their view accordingly.
+	RunModule func(*ModulePass) error
 }
 
 // A Diagnostic is one finding, positioned in the analyzed source.
@@ -92,6 +99,13 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	diags    *[]Diagnostic
+
+	// audit makes Waived/WaivedIn record the directive a finding would have
+	// been waived by — in used — and then report the finding anyway. The
+	// waiverdrift analyzer re-runs the other analyzers in this mode to
+	// learn which waivers still shield a live violation.
+	audit bool
+	used  map[*Directive]bool
 }
 
 // Reportf records a finding at pos.
@@ -109,26 +123,45 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Waived reports whether a finding at pos is waived by a directive of the
 // given name on the same source line or on the line immediately above it.
+// In audit mode the matching directive is recorded as used and the finding
+// stands.
 func (p *Pass) Waived(pos token.Pos, name string) bool {
 	position := p.Pkg.Fset.Position(pos)
-	return p.Pkg.Directives.at(position.Filename, position.Line, name) != nil ||
-		p.Pkg.Directives.at(position.Filename, position.Line-1, name) != nil
+	dir := p.Pkg.Directives.at(position.Filename, position.Line, name)
+	if dir == nil {
+		dir = p.Pkg.Directives.at(position.Filename, position.Line-1, name)
+	}
+	if dir == nil {
+		return false
+	}
+	if p.used != nil {
+		p.used[dir] = true
+	}
+	return !p.audit
 }
 
 // WaivedIn is Waived extended with function-scope waivers: a directive in
 // the doc comment of the enclosing function waives every finding inside it.
 func (p *Pass) WaivedIn(decl *ast.FuncDecl, pos token.Pos, name string) bool {
-	if p.Waived(pos, name) {
-		return true
+	lineWaived := p.Waived(pos, name)
+	var funcDir *Directive
+	if decl != nil {
+		funcDir = p.FuncDirective(decl, name)
 	}
-	return decl != nil && p.FuncDirective(decl, name) != nil
+	if funcDir != nil && p.used != nil {
+		p.used[funcDir] = true
+	}
+	if p.audit {
+		return false
+	}
+	return lineWaived || funcDir != nil
 }
 
 // FuncDirective returns the directive of the given name attached to decl —
 // in its doc comment or on the line immediately above the declaration — or
 // nil if there is none.
 func (p *Pass) FuncDirective(decl *ast.FuncDecl, name string) *Directive {
-	return p.Pkg.Directives.forDecl(p.Pkg.Fset, decl, name)
+	return p.Pkg.Directives.ForDecl(p.Pkg.Fset, decl, name)
 }
 
 // CalleeFunc resolves the function or method a call expression invokes,
@@ -176,8 +209,53 @@ func (p *Pass) InspectFuncs(visit func(file *ast.File, decl *ast.FuncDecl, n ast
 	}
 }
 
+// A ModulePass connects one module-level Analyzer run to the whole loaded
+// package set and collects its findings.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through pkg's file set.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfAt records a finding at an already-resolved position (directives
+// carry token.Position, not token.Pos).
+func (mp *ModulePass) ReportfAt(position token.Position, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PackagePass builds a single-package Pass bound to this module run's
+// analyzer and diagnostic sink, for module analyzers that mix per-package
+// and whole-program checks.
+func (mp *ModulePass) PackagePass(pkg *Package) *Pass {
+	return &Pass{Analyzer: mp.Analyzer, Pkg: pkg, diags: mp.diags}
+}
+
 // RunAnalyzer applies a to pkg and returns its findings sorted by position.
+// A module analyzer is run over the single-package set.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.RunModule != nil {
+		return RunModuleAnalyzer(a, []*Package{pkg})
+	}
 	var diags []Diagnostic
 	pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 	if err := a.Run(pass); err != nil {
@@ -185,6 +263,33 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	}
 	SortDiagnostics(diags)
 	return diags, nil
+}
+
+// RunModuleAnalyzer applies a module analyzer to the whole loaded package
+// set and returns its findings sorted by position.
+func RunModuleAnalyzer(a *Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags}
+	if err := a.RunModule(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAnalyzerAudit applies a single-package analyzer to pkg with waivers
+// disabled: every finding is reported even when a directive covers it, and
+// the directives that would have waived one are returned. Stale-waiver
+// auditing diffs that set against the package's declared waivers.
+func RunAnalyzerAudit(a *Analyzer, pkg *Package) ([]Diagnostic, map[*Directive]bool, error) {
+	var diags []Diagnostic
+	used := map[*Directive]bool{}
+	pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, audit: true, used: used}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("%s (audit) on %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	SortDiagnostics(diags)
+	return diags, used, nil
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer, message.

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/suite"
+)
+
+// TestSelfCheck runs the full rtseed-vet suite over the whole module, so a
+// plain `go test ./...` catches invariant regressions without needing
+// `make lint`. Skipped with -short: the suite recompiles the module via
+// `go list -export` and takes a few seconds.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is slow; run without -short or use make lint")
+	}
+	diags, err := suite.Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,90 @@
+// Package suite assembles the full rtseed-vet analyzer suite and its driver
+// logic in one importable place, so the CLI (cmd/rtseed-vet), the in-test
+// self-check (internal/lint/selfcheck_test.go), and the CLI tests all run
+// exactly the same analysis.
+package suite
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rtseed/internal/lint"
+	"rtseed/internal/lint/determinism"
+	"rtseed/internal/lint/eventhandle"
+	"rtseed/internal/lint/exhaustive"
+	"rtseed/internal/lint/kernelctx"
+	"rtseed/internal/lint/noalloc"
+	"rtseed/internal/lint/waiverdrift"
+)
+
+// Analyzers is the vet suite, in reporting order: the per-package invariant
+// checkers first, then the whole-program call-graph analyzers.
+var Analyzers = []*lint.Analyzer{
+	determinism.Analyzer,
+	noalloc.Analyzer,
+	eventhandle.Analyzer,
+	exhaustive.Analyzer,
+	kernelctx.Analyzer,
+	waiverdrift.Analyzer,
+}
+
+// Run loads the packages matching patterns (relative to dir) and applies the
+// whole suite: per-package analyzers to every package in their scope, module
+// analyzers once over the full loaded set. Findings come back sorted by
+// position, with malformed-directive problems included.
+func Run(dir string, patterns []string) ([]lint.Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.Directives.Problems...)
+		for _, a := range Analyzers {
+			if a.RunModule != nil {
+				continue
+			}
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			found, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, found...)
+		}
+	}
+	for _, a := range Analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		found, err := lint.RunModuleAnalyzer(a, pkgs)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, found...)
+	}
+	lint.SortDiagnostics(diags)
+	return diags, nil
+}
+
+// Print writes findings to w — one go-vet-style file:line:col line each, or
+// a JSON array ({analyzer, file, line, col, message}) with -json.
+func Print(w io.Writer, diags []lint.Diagnostic, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		if diags == nil {
+			diags = []lint.Diagnostic{} // emit [] rather than null
+		}
+		return enc.Encode(diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	return nil
+}

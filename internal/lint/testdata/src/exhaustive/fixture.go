@@ -1,0 +1,143 @@
+// Fixture for the exhaustive analyzer: switches over declared iota enums
+// must cover every member or carry //rtseed:partial-ok.
+package fixture
+
+import "rtseed/internal/trace"
+
+// phase is a module enum: named integer type, iota constant block.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseMandatory
+	phaseOptional
+	phaseWindup
+
+	phaseCount // sentinel, not a required member
+)
+
+// mode is an enum with a value alias: modeDefault names the same value as
+// modeEager, so covering either one covers the member.
+type mode uint8
+
+const (
+	modeEager mode = iota
+	modeLazy
+	modeDefault = modeEager
+)
+
+// notEnum has a single constant: not an iota block, never checked.
+type notEnum int
+
+const onlyValue notEnum = 0
+
+// --- violations --------------------------------------------------------
+
+func missingOne(p phase) int {
+	switch p { // want `switch over fixture\.phase misses phaseWindup \(cover them or add //rtseed:partial-ok <reason>\)`
+	case phaseIdle:
+		return 0
+	case phaseMandatory:
+		return 1
+	case phaseOptional:
+		return 2
+	}
+	return -1
+}
+
+func defaultHides(p phase) int {
+	switch p { // want `switch over fixture\.phase misses phaseMandatory, phaseOptional, phaseWindup`
+	case phaseIdle:
+		return 0
+	default:
+		// A default clause is not coverage: it is where missing members hide.
+		return -1
+	}
+}
+
+func crossPackage(k trace.Kind) bool {
+	switch k { // want `switch over trace\.Kind misses KindBlock`
+	case trace.KindReady, trace.KindDispatch, trace.KindPreempt,
+		trace.KindSleep, trace.KindExit,
+		trace.KindTimerArm, trace.KindTimerFire,
+		trace.KindJobRelease, trace.KindMandStart,
+		trace.KindOptFork, trace.KindOptStart, trace.KindOptEnd,
+		trace.KindOptTerm, trace.KindOptDiscard,
+		trace.KindWindupStart, trace.KindJobEnd,
+		trace.KindDeadlineMet, trace.KindDeadlineMiss:
+		return true
+	}
+	return false
+}
+
+// --- accepted patterns -------------------------------------------------
+
+func complete(p phase) int {
+	switch p {
+	case phaseIdle:
+		return 0
+	case phaseMandatory:
+		return 1
+	case phaseOptional:
+		return 2
+	case phaseWindup:
+		return 3
+	}
+	return -1
+}
+
+func sentinelNotRequired(p phase) bool {
+	// phaseCount bounds the enum; covering the four real members suffices.
+	switch p {
+	case phaseIdle, phaseMandatory, phaseOptional, phaseWindup:
+		return true
+	}
+	return false
+}
+
+func aliasCounts(m mode) int {
+	// modeDefault == modeEager: the alias satisfies the member.
+	switch m {
+	case modeDefault:
+		return 0
+	case modeLazy:
+		return 1
+	}
+	return -1
+}
+
+func waived(p phase) bool {
+	//rtseed:partial-ok this helper only distinguishes the idle phase
+	switch p {
+	case phaseIdle:
+		return true
+	}
+	return false
+}
+
+func nonConstantCase(p phase, dyn phase) bool {
+	// A non-constant case arm makes coverage undecidable: skipped.
+	switch p {
+	case dyn:
+		return true
+	}
+	return false
+}
+
+func singleConstType(n notEnum) bool {
+	// One constant is not an enum: never checked.
+	switch n {
+	case onlyValue:
+		return true
+	}
+	return false
+}
+
+func tagless(p phase) int {
+	// No tag expression: not an enum switch.
+	switch {
+	case p == phaseIdle:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,98 @@
+// Fixture for the kernelctx analyzer: kernel-context functions reached from
+// plain code, goroutines, and escaping function values are flagged; calls
+// from kernel context or through blessed entries are accepted.
+package fixture
+
+// --- the protected set -------------------------------------------------
+
+var queue []int
+
+// enqueue mutates shared kernel state.
+//
+//rtseed:kernelctx
+func enqueue(v int) { queue = append(queue, v) }
+
+// dispatch is kernel context calling kernel context: accepted.
+//
+//rtseed:kernelctx
+func dispatch() {
+	enqueue(1)
+	defer enqueue(2)
+}
+
+// pump is a blessed transition from plain code into kernel context.
+//
+//rtseed:kernelctx-entry the fixture event-loop pump, serialized by construction
+func pump() {
+	dispatch()
+	enqueue(3)
+}
+
+// --- violations --------------------------------------------------------
+
+// plainCaller calls into kernel context without a blessing.
+func plainCaller() {
+	enqueue(4) // want `enqueue is //rtseed:kernelctx but is called from plain code \(path: .*fixture\.plainCaller → fixture\.enqueue\)`
+}
+
+// plainDefer defers into kernel context: same violation, defer flavor.
+func plainDefer() {
+	defer dispatch() // want `dispatch is //rtseed:kernelctx but is called from plain code`
+}
+
+// spawner spawns kernel context on a fresh goroutine. Even though spawner
+// itself is kernel context, the new goroutine is not.
+//
+//rtseed:kernelctx
+func spawner() {
+	go dispatch() // want `dispatch is //rtseed:kernelctx but is spawned on a new goroutine`
+}
+
+// escape hands a kernelctx function out as a value from plain code.
+func escape() func(int) {
+	return enqueue // want `enqueue is //rtseed:kernelctx but escapes as a function value in plain code`
+}
+
+// goLiteral is plain, and its go-spawned literal stays plain even though it
+// is lexically inside nothing special — the call inside it is flagged.
+func goLiteral() {
+	go func() {
+		enqueue(5) // want `enqueue is //rtseed:kernelctx but is called from plain code \(path: fixture\.goLiteral → fixture\.goLiteral\$1 → fixture\.enqueue\)`
+	}()
+}
+
+// spawnFromEntry: even an entry may not spawn kernel context onto a new
+// goroutine — the blessing covers synchronous transitions only.
+//
+//rtseed:kernelctx-entry fixture entry that still must not spawn goroutines
+func spawnFromEntry() {
+	go enqueue(6) // want `enqueue is //rtseed:kernelctx but is spawned on a new goroutine`
+}
+
+// --- accepted patterns -------------------------------------------------
+
+// entryLiteral: a synchronous literal inside an entry inherits kernel
+// context, so its calls are fine.
+//
+//rtseed:kernelctx-entry fixture entry exercising literal inheritance
+func entryLiteral() {
+	flush := func() { enqueue(7) }
+	flush()
+}
+
+// kernelRef: kernel context may use a kernelctx function as a value (the
+// kernel pre-allocates its callbacks).
+//
+//rtseed:kernelctx
+func kernelRef() func(int) { return enqueue }
+
+// annotatedLit: an annotated literal is kernel context wherever it ends up
+// being invoked from; building it in plain code is fine.
+func annotatedLit() func() {
+	//rtseed:kernelctx
+	cb := func() { enqueue(8) }
+	return cb
+}
+
+// plainHelper never touches kernel context: never flagged.
+func plainHelper() int { return len(queue) }

@@ -1,0 +1,124 @@
+// Fixture for the waiverdrift analyzer: waivers that still shield a live
+// finding are accepted, waivers whose violation is gone are stale, and
+// directives attached to the wrong kind of code are misplaced.
+package fixture
+
+import (
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+type phase int
+
+const (
+	phaseA phase = iota
+	phaseB
+	phaseC
+)
+
+// --- live waivers: accepted --------------------------------------------
+
+// liveAlloc's waiver still shields a real allocation.
+//
+//rtseed:noalloc
+func liveAlloc(n int) []int {
+	//rtseed:alloc-ok fixture keeps this deliberate allocation
+	buf := make([]int, n)
+	return buf
+}
+
+// liveNondet's waiver still shields a real wall-clock read.
+func liveNondet() int64 {
+	//rtseed:nondeterministic-ok fixture keeps this wall-clock read
+	return time.Now().UnixNano()
+}
+
+// livePartial's switch is still deliberately partial.
+func livePartial(p phase) bool {
+	//rtseed:partial-ok only phaseA matters to this helper
+	switch p {
+	case phaseA:
+		return true
+	}
+	return false
+}
+
+// checked still persists live handles into its annotated field.
+type checked struct {
+	ev engine.Event //rtseed:handle-ok re-validated via Scheduled before every use
+}
+
+func storeChecked(c *checked, e *engine.Engine) {
+	c.ev = e.After(time.Millisecond, 0, func() {})
+}
+
+// enqueue is kernel context; livePump still reaches it, so its blessing
+// stays live.
+//
+//rtseed:kernelctx
+func enqueue() {}
+
+//rtseed:kernelctx-entry fixture pump, still transitioning into kernel context
+func livePump() { enqueue() }
+
+// --- stale waivers: flagged --------------------------------------------
+
+// staleAlloc: the waived line no longer allocates.
+//
+//rtseed:noalloc
+func staleAlloc(buf []int) int {
+	//rtseed:alloc-ok the line below used to allocate // want `stale //rtseed:alloc-ok: the noalloc finding it waives no longer exists`
+	return len(buf)
+}
+
+// staleNondet: nothing below touches the clock any more.
+func staleNondet() int {
+	//rtseed:nondeterministic-ok formerly read time.Now here // want `stale //rtseed:nondeterministic-ok: the determinism finding it waives no longer exists`
+	return 42
+}
+
+// stalePartial: the switch became complete but kept its waiver.
+func stalePartial(p phase) int {
+	//rtseed:partial-ok outdated justification // want `stale //rtseed:partial-ok: the exhaustive finding it waives no longer exists`
+	switch p {
+	case phaseA:
+		return 0
+	case phaseB:
+		return 1
+	case phaseC:
+		return 2
+	}
+	return -1
+}
+
+// stale handle-ok: the annotated field stopped holding engine.Event.
+type retired struct {
+	n int //rtseed:handle-ok obsolete discipline note // want `stale //rtseed:handle-ok: the eventhandle finding it waives no longer exists`
+}
+
+// stalePump's blessing leads nowhere: it no longer calls kernel code.
+//
+//rtseed:kernelctx-entry formerly the fixture pump // want `stale //rtseed:kernelctx-entry: stalePump no longer reaches any //rtseed:kernelctx function`
+func stalePump() { plainHelper() }
+
+func plainHelper() {}
+
+// --- misplaced directives: flagged -------------------------------------
+
+// noalloc on a variable declaration annotates nothing.
+//
+//rtseed:noalloc // want `misplaced //rtseed:noalloc: not attached to a function declaration`
+var floating int
+
+func misplacedCtx() int {
+	//rtseed:kernelctx // want `misplaced //rtseed:kernelctx: not attached to a function declaration or literal`
+	x := floating
+	return x
+}
+
+//rtseed:kernelctx-entry blessing a type makes no sense // want `misplaced //rtseed:kernelctx-entry: not attached to a function declaration`
+type notAFunc struct{}
+
+var _ = retired{}
+var _ = notAFunc{}

@@ -1,0 +1,12 @@
+package waiverdrift_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/waiverdrift"
+)
+
+func TestWaiverDrift(t *testing.T) {
+	analysistest.Run(t, waiverdrift.Analyzer, "../testdata/src/waiverdrift")
+}

@@ -87,6 +87,7 @@ const (
 )
 
 func classOf(op Op) resourceClass {
+	//rtseed:partial-ok every op not named below is compute-class; the default arm is the classification
 	switch op {
 	case OpCondSignal, OpCondWait:
 		return classBranch

@@ -51,6 +51,7 @@ func NewRecorder(k *kernel.Kernel) *Recorder {
 // Observe consumes one trace record. It is exported so a recorder can also
 // be replayed over the records of a decoded trace file.
 func (r *Recorder) Observe(rec trace.Record) {
+	//rtseed:partial-ok the recorder tracks run segments only; middleware and timer kinds are irrelevant here
 	switch rec.Kind {
 	case trace.KindDispatch:
 		r.running[rec.TID] = rec.At

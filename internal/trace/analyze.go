@@ -294,6 +294,11 @@ func Analyze(t *Trace) *Analysis {
 		case KindDeadlineMiss:
 			stat(task(rec.TID)).Misses++
 			missAt = append(missAt, i)
+		case KindReady, KindOptFork, KindOptStart, KindWindupStart,
+			KindTimerArm, KindTimerFire, KindDeadlineMet:
+			// No aggregate statistic depends on these kinds; listed
+			// explicitly so a new Kind fails the exhaustive check and gets a
+			// deliberate decision here instead of a silent drop.
 		}
 	}
 

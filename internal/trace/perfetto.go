@@ -95,6 +95,11 @@ func BuildPerfetto(t *Trace) *PerfettoFile {
 				Scope: "t",
 				Args:  map[string]any{"arg": rec.Arg},
 			})
+		case KindReady:
+			// Ready is implied by the start of the next dispatch slice; an
+			// instant event per wakeup would only clutter the timeline.
+			// Listed explicitly so a new Kind fails the exhaustive check
+			// until this decoder decides how to render it.
 		}
 	}
 	return f

@@ -270,6 +270,7 @@ func (tr *Tracer) Tap(fn func(Record)) { tr.observers = append(tr.observers, fn)
 // on a CPU's first record is the only cold start).
 //
 //rtseed:noalloc
+//rtseed:kernelctx
 func (tr *Tracer) Emit(at engine.Time, cpu uint16, tid uint32, kind Kind, arg uint64) {
 	if int(cpu) >= len(tr.rings) {
 		tr.growRings(int(cpu))

@@ -53,6 +53,7 @@ func (b *Broker) Execute(d Decision, t Tick) {
 		b.rejected++
 		return
 	}
+	//rtseed:partial-ok non-Bid/Ask actions counted as waits and returned above
 	switch d.Action {
 	case Bid:
 		b.cash -= t.Ask * b.Unit
