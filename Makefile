@@ -49,9 +49,13 @@ test-race:
 	$(GO) test -race ./...
 
 # One pass over every benchmark at a single iteration each: catches
-# benchmark bit-rot without the cost of a full measurement run.
+# benchmark bit-rot without the cost of a full measurement run. The second
+# line gives the continuation executor's scale case (16384 tasks, release
+# mode) a real measured burst so a steady-state allocation regression fails
+# CI, not just a crash.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='BenchmarkManyTaskKernel/release/n=16384$$' -benchtime=100000x -benchmem .
 
 # Full measurement run (slow): one bench per table/figure of the paper.
 bench:
@@ -73,17 +77,25 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzEngineVsOracle -fuzztime=30s ./internal/engine
 	$(GO) test -run=NONE -fuzz=FuzzTraceCodec -fuzztime=30s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzBodyVsGoroutine -fuzztime=30s ./internal/sched
 
 # bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
 # many-task scaling, tracing overhead) and converts the stream into
-# results/BENCH_PR4.json via rtseed-benchjson, the machine-readable
-# perf-trajectory record CI uploads as an artifact.
+# results/BENCH_PR6.json via rtseed-benchjson, the machine-readable
+# perf-trajectory record CI uploads as an artifact. The second pass repeats
+# the continuation-executor headline benchmarks 5× so the record carries
+# medians, and the -baseline flag embeds the pre-continuation (goroutine
+# handshake) medians from results/BENCH_PR6_BASELINE.json next to them.
 bench-json:
 	@mkdir -p results
-	$(GO) test -run=NONE \
+	( $(GO) test -run=NONE \
 		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit' \
-		-benchmem ./... | $(GO) run ./cmd/rtseed-benchjson -o results/BENCH_PR4.json
-	@echo "wrote results/BENCH_PR4.json"
+		-benchmem ./... ; \
+	  $(GO) test -run=NONE \
+		-bench='BenchmarkKernelEventThroughput$$|BenchmarkManyTaskKernel/(release|compute)/n=1024$$' \
+		-benchmem -count=5 . ) \
+	| $(GO) run ./cmd/rtseed-benchjson -baseline results/BENCH_PR6_BASELINE.json -o results/BENCH_PR6.json
+	@echo "wrote results/BENCH_PR6.json"
 
 # tools installs the pinned external analyzers (network required).
 tools:

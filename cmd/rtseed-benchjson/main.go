@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	go test -run=NONE -bench=... -benchmem ./... | rtseed-benchjson [-o FILE]
+//	go test -run=NONE -bench=... -benchmem ./... | rtseed-benchjson [-o FILE] [-baseline FILE]
 //
 // Lines that are not benchmark results (test status, pkg headers) are
-// ignored, so the raw `go test` stream can be piped in unfiltered.
+// ignored, so the raw `go test` stream can be piped in unfiltered. Repeated
+// results for the same benchmark (a -count run) collapse into one entry at
+// the median ns/op, with the sample count recorded. With -baseline, each
+// benchmark also present in the given prior report carries its before
+// median and the speedup factor, so a PR's perf claim is embedded in the
+// artifact instead of living in a commit message.
 package main
 
 import (
@@ -18,11 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement (the median when Samples > 1).
 type Result struct {
 	Name       string  `json:"name"`
 	Iterations int64   `json:"iterations"`
@@ -31,6 +37,14 @@ type Result struct {
 	// allocations (no -benchmem and no b.ReportAllocs).
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Samples is how many result lines collapsed into this entry; omitted
+	// for a single measurement.
+	Samples int `json:"samples,omitempty"`
+	// BaselineNsPerOp and Speedup compare against the -baseline report:
+	// the prior median and baseline/current. Omitted without -baseline or
+	// when the baseline lacks this benchmark.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
 }
 
 // Report is the file layout: the benchmark list plus the context lines the
@@ -69,7 +83,61 @@ func parseBench(r io.Reader) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	rep.Benchmarks = collapse(rep.Benchmarks)
 	return rep, nil
+}
+
+// collapse merges repeated measurements of the same benchmark (a -count or
+// multi-pass run) into one entry at the median ns/op, keeping first-seen
+// order. The median's own line supplies iterations and alloc stats — for an
+// even sample count, the lower-ns member of the middle pair.
+func collapse(in []Result) []Result {
+	byName := make(map[string][]Result, len(in))
+	var order []string
+	for _, r := range in {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		group := byName[name]
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		sort.SliceStable(group, func(i, j int) bool { return group[i].NsPerOp < group[j].NsPerOp })
+		med := group[(len(group)-1)/2]
+		med.Samples = len(group)
+		out = append(out, med)
+	}
+	return out
+}
+
+// applyBaseline annotates rep's benchmarks with the prior medians from the
+// baseline report.
+func applyBaseline(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("rtseed-benchjson: bad baseline %s: %v", path, err)
+	}
+	prior := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		prior[r.Name] = r.NsPerOp
+	}
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		if before, ok := prior[b.Name]; ok && before > 0 && b.NsPerOp > 0 {
+			b.BaselineNsPerOp = before
+			b.Speedup = before / b.NsPerOp
+		}
+	}
+	return nil
 }
 
 // parseLine decodes one result line:
@@ -120,6 +188,7 @@ func parseLine(line string) (Result, error) {
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "prior report to compare against (adds baseline_ns_per_op and speedup)")
 	flag.Parse()
 	rep, err := parseBench(os.Stdin)
 	if err != nil {
@@ -129,6 +198,12 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "rtseed-benchjson: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		if err := applyBaseline(rep, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {

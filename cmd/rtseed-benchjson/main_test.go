@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,54 @@ func TestParseLineErrors(t *testing.T) {
 	}
 }
 
+func TestCollapseMedian(t *testing.T) {
+	const repeated = `BenchmarkHot-8 100 30.0 ns/op
+BenchmarkHot-8 100 10.0 ns/op
+BenchmarkOther-8 50 7.0 ns/op
+BenchmarkHot-8 100 20.0 ns/op
+`
+	rep, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Benchmarks), 2; got != want {
+		t.Fatalf("collapsed to %d benchmarks, want %d", got, want)
+	}
+	// First-seen order is kept; the repeated entry reports the median.
+	hot := rep.Benchmarks[0]
+	if hot.Name != "BenchmarkHot" || hot.NsPerOp != 20.0 || hot.Samples != 3 {
+		t.Errorf("median entry = %+v, want 20 ns/op over 3 samples", hot)
+	}
+	other := rep.Benchmarks[1]
+	if other.Name != "BenchmarkOther" || other.Samples != 0 {
+		t.Errorf("single entry = %+v, want no samples field", other)
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	base := t.TempDir() + "/base.json"
+	if err := writeFile(base, `{"benchmarks":[{"name":"BenchmarkHot","ns_per_op":40.0}]}`); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 10.0},
+		{Name: "BenchmarkNew", NsPerOp: 5.0},
+	}}
+	if err := applyBaseline(rep, base); err != nil {
+		t.Fatal(err)
+	}
+	hot := rep.Benchmarks[0]
+	if hot.BaselineNsPerOp != 40.0 || hot.Speedup != 4.0 {
+		t.Errorf("baselined entry = %+v, want before=40 speedup=4", hot)
+	}
+	if rep.Benchmarks[1].BaselineNsPerOp != 0 {
+		t.Errorf("benchmark absent from the baseline gained a comparison: %+v", rep.Benchmarks[1])
+	}
+	if err := applyBaseline(rep, t.TempDir()+"/missing.json"); err == nil {
+		t.Error("missing baseline file must error")
+	}
+}
+
 func TestParseBenchEmpty(t *testing.T) {
 	rep, err := parseBench(strings.NewReader("PASS\nok rtseed 1s\n"))
 	if err != nil {
@@ -77,4 +126,9 @@ func TestParseBenchEmpty(t *testing.T) {
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("parsed %d benchmarks from non-benchmark input", len(rep.Benchmarks))
 	}
+}
+
+// writeFile is a test shorthand for dropping fixture files.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }

@@ -191,22 +191,29 @@ func NewProcess(k *kernel.Kernel, cfg Config) (*Process, error) {
 		optConds:    make([]*kernel.CondVar, np),
 		optionals:   make([]*kernel.Thread, np),
 	}
-	p.mandatory, err = k.NewThread(kernel.ThreadConfig{
+	mb := &mandBody{p: p}
+	if cfg.ReleaseJitter > 0 {
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			seed = uint64(len(cfg.Task.Name)) + 1
+		}
+		mb.jitterRng = engine.NewRand(seed)
+	}
+	p.mandatory, err = k.NewBodyThread(kernel.ThreadConfig{
 		Name:     cfg.Task.Name + ".mand",
 		Priority: cfg.MandatoryPriority,
 		CPU:      cfg.MandatoryCPU,
-	}, p.mandatoryBody)
+	}, mb)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < np; i++ {
-		i := i
 		p.optConds[i] = k.NewCondVar(fmt.Sprintf("%s.opt%d", cfg.Task.Name, i))
-		p.optionals[i], err = k.NewThread(kernel.ThreadConfig{
+		p.optionals[i], err = k.NewBodyThread(kernel.ThreadConfig{
 			Name:     fmt.Sprintf("%s.opt%d", cfg.Task.Name, i),
 			Priority: optPrio,
 			CPU:      cfg.OptionalCPUs[i],
-		}, func(c *kernel.TCB) { p.optionalBody(c, i) })
+		}, &optBody{p: p, k: i})
 		if err != nil {
 			return nil, err
 		}
@@ -272,180 +279,355 @@ func (p *Process) emitAt(c *kernel.TCB, at engine.Time, kind trace.Kind, arg uin
 	}
 }
 
-// mandatoryBody is the mandatory thread's program (Fig. 6, left column):
-// sleep to the release, execute the mandatory part, wake the parallel
-// optional threads, wait for them all to end, execute the wind-up part,
-// sleep until the next release.
-func (p *Process) mandatoryBody(c *kernel.TCB) {
-	t := p.cfg.Task
-	np := t.NumOptional()
-	var jitterRng *engine.Rand
-	if p.cfg.ReleaseJitter > 0 {
-		seed := p.cfg.JitterSeed
-		if seed == 0 {
-			seed = uint64(len(t.Name)) + 1
+// mandPC is the mandatory body's program counter: which kernel action the
+// body is waiting on.
+type mandPC uint8
+
+const (
+	// pmRelease: initial state; pick the next job and sleep to its release.
+	pmRelease mandPC = iota
+	// pmAwake: the release sleep returned; migrate if the policy asks, then
+	// start the mandatory part.
+	pmAwake
+	// pmMigrated: the migration completed; start the mandatory part.
+	pmMigrated
+	// pmAfterMand: the mandatory burst completed; fork the optional parts.
+	pmAfterMand
+	// pmSignal: a pthread_cond_signal of the wake-up loop completed; signal
+	// the next part or block for the parts to end.
+	pmSignal
+	// pmWait: a CondWait on the mandatory condvar returned; re-check
+	// remaining (spurious-wakeup loop) or wind up.
+	pmWait
+	// pmAfterWind: the wind-up burst completed; record the job and loop.
+	pmAfterWind
+	// pmDrain: a deactivation signal completed; signal the next optional
+	// thread or exit.
+	pmDrain
+)
+
+// mandBody is the mandatory thread's program (Fig. 6, left column) in
+// continuation form: sleep to the release, execute the mandatory part, wake
+// the parallel optional threads, wait for them all to end, execute the
+// wind-up part, sleep until the next release. Each blocking call of the
+// goroutine form is one returned action here; everything between two actions
+// is host code and runs inside one Step.
+type mandBody struct {
+	p         *Process
+	jitterRng *engine.Rand
+
+	pc        mandPC
+	job       int
+	release   engine.Time
+	mandStart engine.Time
+	bStart    engine.Time
+	active    int
+	sigIdx    int
+}
+
+//rtseed:kernelctx
+func (b *mandBody) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	switch b.pc {
+	case pmRelease:
+		return b.startJob(c)
+	case pmAwake:
+		if fn := b.p.cfg.Migrate; fn != nil {
+			if target := fn(b.job, c.HWThread()); target != c.HWThread() {
+				b.pc = pmMigrated
+				return kernel.Migrate(target)
+			}
 		}
-		jitterRng = engine.NewRand(seed)
+		return b.startMandatory(c)
+	case pmMigrated:
+		return b.startMandatory(c)
+	case pmAfterMand:
+		return b.fork(c)
+	case pmSignal:
+		b.sigIdx++
+		if b.sigIdx < b.active {
+			return kernel.CondSignal(b.p.optConds[b.sigIdx])
+		}
+		if fn := b.p.cfg.Probes.OnSignalLoop; fn != nil {
+			fn(b.job, b.bStart, c.Now())
+		}
+		if fn := b.p.cfg.Probes.OnMandatoryBlock; fn != nil {
+			fn(b.job, c.Now())
+		}
+		if b.p.remaining > 0 {
+			b.pc = pmWait
+			return kernel.CondWait(b.p.mandCond)
+		}
+		return b.windup(c)
+	case pmWait:
+		if b.p.remaining > 0 {
+			return kernel.CondWait(b.p.mandCond)
+		}
+		return b.windup(c)
+	case pmAfterWind:
+		return b.finishJob(c)
+	case pmDrain:
+		b.sigIdx++
+		if b.sigIdx < len(b.p.optConds) {
+			return kernel.CondSignal(b.p.optConds[b.sigIdx])
+		}
+		return kernel.Done()
 	}
-	for job := 0; job < p.cfg.Jobs; job++ {
-		release := engine.At(time.Duration(job) * t.Period)
-		if jitterRng != nil {
-			release = release.Add(time.Duration(jitterRng.Uint64() % uint64(p.cfg.ReleaseJitter)))
+	panic("core: corrupt mandatory body state")
+}
+
+// startJob picks the next job — applying release jitter and the
+// OverrunSkip policy in host code — and sleeps to its release, or begins
+// the deactivation drain when all jobs are done.
+func (b *mandBody) startJob(c *kernel.TCB) kernel.Next {
+	p, t := b.p, b.p.cfg.Task
+	for {
+		if b.job >= p.cfg.Jobs {
+			// Deactivate and wake the optional threads so they can exit.
+			p.running = false
+			if len(p.optConds) == 0 {
+				return kernel.Done()
+			}
+			b.sigIdx = 0
+			b.pc = pmDrain
+			return kernel.CondSignal(p.optConds[0])
+		}
+		release := engine.At(time.Duration(b.job) * t.Period)
+		if b.jitterRng != nil {
+			release = release.Add(time.Duration(b.jitterRng.Uint64() % uint64(p.cfg.ReleaseJitter)))
 		}
 		if p.cfg.Overrun == OverrunSkip && c.Now() >= release.Add(t.Period) {
 			// The whole window has passed: skip-over.
 			p.skipped++
+			b.job++
 			continue
 		}
-		c.SleepUntil(release)
-		if fn := p.cfg.Migrate; fn != nil {
-			if target := fn(job, c.HWThread()); target != c.HWThread() {
-				c.Migrate(target)
-			}
-		}
-		mandStart := c.Now()
-		p.emitAt(c, release, trace.KindJobRelease, uint64(job))
-		p.emit(c, trace.KindMandStart, uint64(job))
-		if fn := p.cfg.Probes.OnRelease; fn != nil {
-			fn(job, release, mandStart)
-		}
-		c.Compute(t.Mandatory)
-		if fn := p.cfg.App.OnMandatory; fn != nil {
-			fn(job)
-		}
-		od := release.Add(p.cfg.OptionalDeadline)
-		p.curJob = job
-		p.curOD = od
-		p.curParts = make([]task.PartRecord, np)
-
-		active := np
-		if p.cfg.Adaptive != nil {
-			active = p.activeParts
-		}
-		if active > 0 && c.Now() < od {
-			// Wake the active parallel optional threads (Δb is this
-			// loop); the rest are discarded this job.
-			p.remaining = active
-			for k := 0; k < active; k++ {
-				p.partPending[k] = true
-			}
-			for k := active; k < np; k++ {
-				p.curParts[k] = task.PartRecord{
-					Outcome: task.PartDiscarded,
-					Length:  t.Optional[k],
-				}
-				p.emit(c, trace.KindOptDiscard, trace.PackJobPart(job, k))
-			}
-			bStart := c.Now()
-			p.emit(c, trace.KindOptFork, uint64(job))
-			for _, cv := range p.optConds[:active] {
-				c.CondSignal(cv)
-			}
-			if fn := p.cfg.Probes.OnSignalLoop; fn != nil {
-				fn(job, bStart, c.Now())
-			}
-			if fn := p.cfg.Probes.OnMandatoryBlock; fn != nil {
-				fn(job, c.Now())
-			}
-			for p.remaining > 0 {
-				c.CondWait(p.mandCond)
-			}
-		} else {
-			// No time left before the optional deadline: the parts are
-			// discarded — the optional threads never receive the wake-up
-			// signal (Fig. 1).
-			for k := 0; k < np; k++ {
-				p.curParts[k] = task.PartRecord{
-					Outcome: task.PartDiscarded,
-					Length:  t.Optional[k],
-				}
-				p.emit(c, trace.KindOptDiscard, trace.PackJobPart(job, k))
-			}
-		}
-
-		windupStart := c.Now()
-		p.emit(c, trace.KindWindupStart, uint64(job))
-		if fn := p.cfg.Probes.OnWindupStart; fn != nil {
-			fn(job, od, windupStart)
-		}
-		if a := p.cfg.Adaptive; a != nil {
-			p.activeParts = a.next(p.activeParts, np, windupStart.Sub(od))
-		}
-		c.Compute(t.Windup)
-		if fn := p.cfg.App.OnWindup; fn != nil {
-			progress := make([]float64, np)
-			for k, pr := range p.curParts {
-				progress[k] = pr.Progress()
-			}
-			fn(job, progress)
-		}
-		finish := c.Now().Duration()
-		deadline := release.Add(t.Deadline()).Duration()
-		p.emit(c, trace.KindJobEnd, uint64(job))
-		if trace.MissedDeadline(finish, deadline) {
-			p.emit(c, trace.KindDeadlineMiss, trace.PackMiss(job, finish-deadline))
-		} else {
-			p.emit(c, trace.KindDeadlineMet, uint64(job))
-		}
-		p.records = append(p.records, task.JobRecord{
-			Job:            job,
-			Release:        release.Duration(),
-			MandatoryStart: mandStart.Duration(),
-			WindupStart:    windupStart.Duration(),
-			Finish:         finish,
-			Deadline:       deadline,
-			Parts:          p.curParts,
-		})
-	}
-	// Deactivate and wake the optional threads so they can exit.
-	p.running = false
-	for _, cv := range p.optConds {
-		c.CondSignal(cv)
+		b.release = release
+		b.pc = pmAwake
+		return kernel.SleepUntil(release)
 	}
 }
 
-// optionalBody is parallel optional thread k's program (Fig. 7): wait for
-// the wake-up signal, run the optional part under the termination mechanism
-// with the one-shot optional-deadline timer, and when all parts have ended,
-// send the wake-up signal back to the mandatory thread.
-func (p *Process) optionalBody(c *kernel.TCB, k int) {
-	t := p.cfg.Task
-	for {
-		for p.running && !p.partPending[k] {
-			c.CondWait(p.optConds[k])
-		}
-		if !p.partPending[k] {
-			return // deactivated
-		}
-		p.partPending[k] = false
-		job, od := p.curJob, p.curOD
-		p.emit(c, trace.KindOptStart, trace.PackJobPart(job, k))
-		if fn := p.cfg.Probes.OnOptionalStart; fn != nil {
-			fn(job, k, c.Now())
-		}
-		completed, ran := p.term.RunOptional(c, od, t.Optional[k])
-		outcome := task.PartTerminated
-		if completed {
-			outcome = task.PartCompleted
-			p.emit(c, trace.KindOptEnd, trace.PackJobPart(job, k))
-		} else {
-			p.emit(c, trace.KindOptTerm, trace.PackJobPart(job, k))
-		}
-		rec := task.PartRecord{Outcome: outcome, Executed: ran, Length: t.Optional[k]}
-		p.curParts[k] = rec
-		if fn := p.cfg.App.OnOptional; fn != nil {
-			fn(job, k, rec.Progress())
-		}
-		// endOptionalPart: serialized per-part ending (sighand-lock
-		// signal processing + shared-state bookkeeping); the last part to
-		// end wakes the mandatory thread.
-		c.MutexLock(p.endLock)
-		c.ChargeOp(machine.OpEndOptional)
-		p.remaining--
-		last := p.remaining == 0
-		c.MutexUnlock(p.endLock)
-		if last {
-			c.CondSignal(p.mandCond)
-		}
+func (b *mandBody) startMandatory(c *kernel.TCB) kernel.Next {
+	p := b.p
+	b.mandStart = c.Now()
+	p.emitAt(c, b.release, trace.KindJobRelease, uint64(b.job))
+	p.emit(c, trace.KindMandStart, uint64(b.job))
+	if fn := p.cfg.Probes.OnRelease; fn != nil {
+		fn(b.job, b.release, b.mandStart)
 	}
+	b.pc = pmAfterMand
+	return kernel.Compute(p.cfg.Task.Mandatory)
+}
+
+// fork runs after the mandatory part: wake the active parallel optional
+// threads (Δb is the signal loop), or discard every part when the optional
+// deadline has already passed.
+func (b *mandBody) fork(c *kernel.TCB) kernel.Next {
+	p, t := b.p, b.p.cfg.Task
+	np := t.NumOptional()
+	if fn := p.cfg.App.OnMandatory; fn != nil {
+		fn(b.job)
+	}
+	od := b.release.Add(p.cfg.OptionalDeadline)
+	p.curJob = b.job
+	p.curOD = od
+	p.curParts = make([]task.PartRecord, np)
+
+	active := np
+	if p.cfg.Adaptive != nil {
+		active = p.activeParts
+	}
+	if active > 0 && c.Now() < od {
+		// Wake the active parallel optional threads (Δb is this
+		// loop); the rest are discarded this job.
+		p.remaining = active
+		for k := 0; k < active; k++ {
+			p.partPending[k] = true
+		}
+		for k := active; k < np; k++ {
+			p.curParts[k] = task.PartRecord{
+				Outcome: task.PartDiscarded,
+				Length:  t.Optional[k],
+			}
+			p.emit(c, trace.KindOptDiscard, trace.PackJobPart(b.job, k))
+		}
+		b.bStart = c.Now()
+		p.emit(c, trace.KindOptFork, uint64(b.job))
+		b.active = active
+		b.sigIdx = 0
+		b.pc = pmSignal
+		return kernel.CondSignal(p.optConds[0])
+	}
+	// No time left before the optional deadline: the parts are
+	// discarded — the optional threads never receive the wake-up
+	// signal (Fig. 1).
+	for k := 0; k < np; k++ {
+		p.curParts[k] = task.PartRecord{
+			Outcome: task.PartDiscarded,
+			Length:  t.Optional[k],
+		}
+		p.emit(c, trace.KindOptDiscard, trace.PackJobPart(b.job, k))
+	}
+	return b.windup(c)
+}
+
+func (b *mandBody) windup(c *kernel.TCB) kernel.Next {
+	p := b.p
+	windupStart := c.Now()
+	b.bStart = windupStart // reuse as windup start for finishJob
+	p.emit(c, trace.KindWindupStart, uint64(b.job))
+	if fn := p.cfg.Probes.OnWindupStart; fn != nil {
+		fn(b.job, p.curOD, windupStart)
+	}
+	if a := p.cfg.Adaptive; a != nil {
+		p.activeParts = a.next(p.activeParts, p.cfg.Task.NumOptional(), windupStart.Sub(p.curOD))
+	}
+	b.pc = pmAfterWind
+	return kernel.Compute(p.cfg.Task.Windup)
+}
+
+func (b *mandBody) finishJob(c *kernel.TCB) kernel.Next {
+	p, t := b.p, b.p.cfg.Task
+	if fn := p.cfg.App.OnWindup; fn != nil {
+		progress := make([]float64, t.NumOptional())
+		for k, pr := range p.curParts {
+			progress[k] = pr.Progress()
+		}
+		fn(b.job, progress)
+	}
+	finish := c.Now().Duration()
+	deadline := b.release.Add(t.Deadline()).Duration()
+	p.emit(c, trace.KindJobEnd, uint64(b.job))
+	if trace.MissedDeadline(finish, deadline) {
+		p.emit(c, trace.KindDeadlineMiss, trace.PackMiss(b.job, finish-deadline))
+	} else {
+		p.emit(c, trace.KindDeadlineMet, uint64(b.job))
+	}
+	p.records = append(p.records, task.JobRecord{
+		Job:            b.job,
+		Release:        b.release.Duration(),
+		MandatoryStart: b.mandStart.Duration(),
+		WindupStart:    b.bStart.Duration(),
+		Finish:         finish,
+		Deadline:       deadline,
+		Parts:          p.curParts,
+	})
+	b.job++
+	return b.startJob(c)
+}
+
+// optPC is a parallel optional body's program counter.
+type optPC uint8
+
+const (
+	// poWait: a CondWait on the part's condvar returned; re-check the
+	// wake-up predicate.
+	poWait optPC = iota
+	// poTerm: a termination-mechanism action completed; continue stepping
+	// the mechanism or finish the part.
+	poTerm
+	// poLocked: the endLock acquisition completed; charge the ending
+	// operation.
+	poLocked
+	// poCharged: the ending charge completed; release the lock.
+	poCharged
+	// poUnlocked: the lock release completed; wake the mandatory thread if
+	// this was the last part, else wait for the next job.
+	poUnlocked
+	// poSignalled: the wake-up of the mandatory thread completed; wait for
+	// the next job.
+	poSignalled
+)
+
+// optBody is parallel optional thread k's program (Fig. 7) in continuation
+// form: wait for the wake-up signal, run the optional part by stepping the
+// termination mechanism's state machine, and when all parts have ended,
+// send the wake-up signal back to the mandatory thread.
+type optBody struct {
+	p *Process
+	k int
+
+	pc   optPC
+	job  int
+	st   TermState
+	last bool
+}
+
+//rtseed:kernelctx
+func (b *optBody) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	p := b.p
+	switch b.pc {
+	case poWait:
+		return b.await(c, r)
+	case poTerm:
+		next, done := p.term.StepOptional(&b.st, c, r)
+		if !done {
+			return next
+		}
+		return b.endPart(c)
+	case poLocked:
+		b.pc = poCharged
+		return kernel.ChargeOp(machine.OpEndOptional)
+	case poCharged:
+		p.remaining--
+		b.last = p.remaining == 0
+		b.pc = poUnlocked
+		return kernel.MutexUnlock(p.endLock)
+	case poUnlocked:
+		if b.last {
+			b.pc = poSignalled
+			return kernel.CondSignal(p.mandCond)
+		}
+		return b.await(c, r)
+	case poSignalled:
+		return b.await(c, r)
+	}
+	panic("core: corrupt optional body state")
+}
+
+// await is the wake-up predicate loop: block until this part is pending or
+// the process deactivates, then start the part under the termination
+// mechanism.
+func (b *optBody) await(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	p := b.p
+	if p.running && !p.partPending[b.k] {
+		b.pc = poWait
+		return kernel.CondWait(p.optConds[b.k])
+	}
+	if !p.partPending[b.k] {
+		return kernel.Done() // deactivated
+	}
+	p.partPending[b.k] = false
+	b.job = p.curJob
+	p.emit(c, trace.KindOptStart, trace.PackJobPart(b.job, b.k))
+	if fn := p.cfg.Probes.OnOptionalStart; fn != nil {
+		fn(b.job, b.k, c.Now())
+	}
+	b.st.Reset(p.curOD, p.cfg.Task.Optional[b.k])
+	b.pc = poTerm
+	next, _ := p.term.StepOptional(&b.st, c, r)
+	return next
+}
+
+// endPart runs when the termination mechanism reports the part done:
+// record the outcome, then enter the serialized ending path
+// (endOptionalPart: sighand-lock signal processing + shared-state
+// bookkeeping); the last part to end wakes the mandatory thread.
+func (b *optBody) endPart(c *kernel.TCB) kernel.Next {
+	p := b.p
+	length := p.cfg.Task.Optional[b.k]
+	outcome := task.PartTerminated
+	if b.st.Completed {
+		outcome = task.PartCompleted
+		p.emit(c, trace.KindOptEnd, trace.PackJobPart(b.job, b.k))
+	} else {
+		p.emit(c, trace.KindOptTerm, trace.PackJobPart(b.job, b.k))
+	}
+	rec := task.PartRecord{Outcome: outcome, Executed: b.st.Ran, Length: length}
+	p.curParts[b.k] = rec
+	if fn := p.cfg.App.OnOptional; fn != nil {
+		fn(b.job, b.k, rec.Progress())
+	}
+	b.pc = poLocked
+	return kernel.MutexLock(p.endLock)
 }

@@ -23,8 +23,41 @@ type Termination interface {
 	// mask after a termination, so the next job's optional-deadline timer
 	// can fire (Table I column "Signal Mask Restoration").
 	RestoresSignalMask() bool
-	// RunOptional executes the part on the calling thread.
+	// RunOptional executes the part on the calling thread. This is the
+	// blocking form for goroutine-executor bodies (PracticalProcess keeps
+	// using it); continuation bodies drive StepOptional instead.
 	RunOptional(c *kernel.TCB, od engine.Time, length time.Duration) (completed bool, ran time.Duration)
+	// StepOptional advances the mechanism's continuation form by one kernel
+	// action. The caller Resets st before the first call, then calls
+	// StepOptional once per kernel resume, executing each returned action,
+	// until done is reported; st.Completed and st.Ran then hold what
+	// RunOptional would have returned (the returned Next is the zero value
+	// and must not be executed). Both forms issue identical kernel request
+	// sequences — that is what makes the executors trace-identical.
+	StepOptional(st *TermState, c *kernel.TCB, r kernel.Resume) (next kernel.Next, done bool)
+}
+
+// TermState is the resumable state of one optional part run under a
+// termination mechanism's continuation form. It lives in the optional
+// thread's body (one per thread, reused across jobs), so steady-state
+// stepping allocates nothing.
+type TermState struct {
+	// OD is the absolute optional deadline for this run.
+	OD engine.Time
+	// Length is the part's nominal execution time.
+	Length time.Duration
+	// Completed and Ran are the run's results, valid once StepOptional
+	// reports done.
+	Completed bool
+	Ran       time.Duration
+
+	pc    uint8
+	chunk time.Duration // periodic check: in-flight chunk size
+}
+
+// Reset prepares st for a new optional part run.
+func (st *TermState) Reset(od engine.Time, length time.Duration) {
+	*st = TermState{OD: od, Length: length}
 }
 
 // SigjmpTermination is the paper's chosen mechanism: sigsetjmp saves the
@@ -58,6 +91,40 @@ func (SigjmpTermination) RunOptional(c *kernel.TCB, od engine.Time, length time.
 	c.ChargeOp(machine.OpSigLongjmp)
 	c.SetAlarmMask(false)
 	return false, ran
+}
+
+// StepOptional implements Termination: the Fig. 7 sequence as a resumable
+// state machine, one kernel action per step, mirroring RunOptional's request
+// sequence exactly.
+//
+//rtseed:noalloc
+//rtseed:kernelctx
+func (SigjmpTermination) StepOptional(st *TermState, c *kernel.TCB, r kernel.Resume) (kernel.Next, bool) {
+	switch st.pc {
+	case 0:
+		st.pc = 1
+		return kernel.ChargeOp(machine.OpSigSetjmp), false
+	case 1:
+		st.pc = 2
+		return kernel.TimerSet(st.OD), false
+	case 2:
+		st.pc = 3
+		return kernel.ComputeInterruptible(st.Length), false
+	case 3:
+		st.Completed, st.Ran = r.Completed, r.Ran
+		if st.Completed {
+			st.pc = 5
+			return kernel.TimerStop(), false
+		}
+		// timer_handler ran siglongjmp: restore stack context AND signal
+		// mask.
+		st.pc = 4
+		return kernel.ChargeOp(machine.OpSigLongjmp), false
+	case 4:
+		st.pc = 5
+		return kernel.SetAlarmMask(false), false
+	}
+	return kernel.Next{}, true
 }
 
 // PeriodicCheckTermination polls the clock between fixed-size compute chunks
@@ -102,6 +169,38 @@ func (p PeriodicCheckTermination) RunOptional(c *kernel.TCB, od engine.Time, len
 	return true, ran
 }
 
+// StepOptional implements Termination: the chunked polling loop as a
+// resumable state machine. st.Ran accumulates across chunks; the loop-head
+// checks run in host code between compute actions, exactly as in
+// RunOptional.
+//
+//rtseed:noalloc
+//rtseed:kernelctx
+func (p PeriodicCheckTermination) StepOptional(st *TermState, c *kernel.TCB, r kernel.Resume) (kernel.Next, bool) {
+	if st.pc == 1 {
+		st.Ran += st.chunk
+	}
+	if st.Ran >= st.Length {
+		st.Completed = true
+		return kernel.Next{}, true
+	}
+	if c.Now() >= st.OD {
+		st.Completed = false
+		return kernel.Next{}, true
+	}
+	period := p.Period
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	chunk := period
+	if rest := st.Length - st.Ran; rest < chunk {
+		chunk = rest
+	}
+	st.chunk = chunk
+	st.pc = 1
+	return kernel.Compute(chunk), false
+}
+
 // TryCatchTermination models the C++ try/catch alternative of §IV-D: the
 // SIGALRM handler throws, the exception unwinds the optional part at any
 // time — but the signal mask saved at handler entry is never restored, so
@@ -132,6 +231,35 @@ func (TryCatchTermination) RunOptional(c *kernel.TCB, od engine.Time, length tim
 	// but the signal mask is NOT cleared: SIGALRM stays blocked.
 	c.ChargeOp(machine.OpSigLongjmp)
 	return false, ran
+}
+
+// StepOptional implements Termination: try/catch as a resumable state
+// machine. Like RunOptional, it never issues SetAlarmMask — a terminated
+// part leaves SIGALRM blocked, which is the defect §IV-D describes.
+//
+//rtseed:noalloc
+//rtseed:kernelctx
+func (TryCatchTermination) StepOptional(st *TermState, c *kernel.TCB, r kernel.Resume) (kernel.Next, bool) {
+	switch st.pc {
+	case 0:
+		st.pc = 1
+		return kernel.TimerSet(st.OD), false
+	case 1:
+		st.pc = 2
+		return kernel.ComputeInterruptible(st.Length), false
+	case 2:
+		st.Completed, st.Ran = r.Completed, r.Ran
+		if st.Completed {
+			st.pc = 3
+			return kernel.TimerStop(), false
+		}
+		// The exception unwinds the stack (priced like the longjmp
+		// restore), but the signal mask is NOT cleared: SIGALRM stays
+		// blocked.
+		st.pc = 3
+		return kernel.ChargeOp(machine.OpSigLongjmp), false
+	}
+	return kernel.Next{}, true
 }
 
 var (

@@ -99,11 +99,23 @@ func (e Event) When() Time {
 // wheel slot).
 func (e Event) Scheduled() bool { return e.n != nil && e.n.gen == e.gen && e.n.index != idxFree }
 
+// heapItem is one entry of the near-horizon heap: the node's sort key held
+// inline next to the node pointer. Comparisons during a sift read only the
+// queue slice — two 32-byte entries per cache line, children adjacent — and
+// never dereference the scattered node structs, which at many-task scale
+// turned every heap level into a cache miss.
+type heapItem struct {
+	at       Time
+	seq      uint64
+	n        *node
+	priority int32
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Engine struct {
 	now   Time
-	queue []*node // near-horizon min-heap over (at, priority, seq)
+	queue []heapItem // near-horizon min-heap over (at, priority, seq)
 	free  []*node
 	seq   uint64
 	steps uint64
@@ -201,7 +213,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	n := e.queue[0]
+	n := e.queue[0].n
 	e.now = n.at
 	// ensureMin drained every wheel slot with a lower bound <= this tick,
 	// so advancing the wheel's cursor here skips no occupied slot.
@@ -247,23 +259,23 @@ func (e *Engine) Pending() int { return len(e.queue) + e.wheelCount }
 //rtseed:kernelctx
 func (e *Engine) heapPush(n *node) {
 	n.index = int32(len(e.queue))
-	e.queue = append(e.queue, n) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
+	e.queue = append(e.queue, heapItem{at: n.at, seq: n.seq, n: n, priority: n.priority}) //rtseed:alloc-ok amortized queue growth; the Schedule→Step cycle reuses capacity
 	e.siftUp(int(n.index))
 }
 
-// remove detaches the node at heap index i, restores the heap property, and
-// releases the node to the free list.
+// remove detaches the entry at heap index i, restores the heap property, and
+// releases its node to the free list.
 //
 //rtseed:noalloc
 //rtseed:kernelctx
 func (e *Engine) remove(i int) {
-	n := e.queue[i]
+	n := e.queue[i].n
 	last := len(e.queue) - 1
 	if i != last {
 		e.queue[i] = e.queue[last]
-		e.queue[i].index = int32(i)
+		e.queue[i].n.index = int32(i)
 	}
-	e.queue[last] = nil
+	e.queue[last] = heapItem{}
 	e.queue = e.queue[:last]
 	if i < last {
 		if !e.siftDown(i) {
@@ -284,56 +296,69 @@ func (e *Engine) release(n *node) {
 	e.free = append(e.free, n) //rtseed:alloc-ok amortized free-list growth; capacity is reused across recycles
 }
 
+// The heap is 4-ary: children of i are 4i+1..4i+4. With 32-byte inline-key
+// entries the four children span two cache lines, and the tree is half the
+// depth of a binary heap — pop-heavy event loops spend their time in
+// siftDown, where depth is what costs.
+
 //rtseed:noalloc
 //rtseed:kernelctx
 func (e *Engine) siftUp(i int) {
 	q := e.queue
-	n := q[i]
+	it := q[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		p := q[parent]
-		if !less(n, p) {
+		parent := (i - 1) / 4
+		if !less(&it, &q[parent]) {
 			break
 		}
-		q[i] = p
-		p.index = int32(i)
+		q[i] = q[parent]
+		q[i].n.index = int32(i)
 		i = parent
 	}
-	q[i] = n
-	n.index = int32(i)
+	q[i] = it
+	it.n.index = int32(i)
 }
 
-// siftDown restores the heap below i, reporting whether the node moved.
+// siftDown restores the heap below i, reporting whether the entry moved.
 //
 //rtseed:noalloc
 //rtseed:kernelctx
 func (e *Engine) siftDown(i int) bool {
 	q := e.queue
-	n := q[i]
+	it := q[i]
 	start := i
-	half := len(q) / 2
-	for i < half {
-		child := 2*i + 1
-		if right := child + 1; right < len(q) && less(q[right], q[child]) {
-			child = right
-		}
-		c := q[child]
-		if !less(c, n) {
+	n := len(q)
+	for {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		q[i] = c
-		c.index = int32(i)
-		i = child
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(&q[c], &q[best]) {
+				best = c
+			}
+		}
+		if !less(&q[best], &it) {
+			break
+		}
+		q[i] = q[best]
+		q[i].n.index = int32(i)
+		i = best
 	}
-	q[i] = n
-	n.index = int32(i)
+	q[i] = it
+	it.n.index = int32(i)
 	return i > start
 }
 
-// less orders nodes by (at, priority, seq).
+// less orders heap entries by (at, priority, seq).
 //
 //rtseed:noalloc
-func less(a, b *node) bool {
+func less(a, b *heapItem) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}

@@ -200,12 +200,15 @@ func (e *Engine) ensureMin() {
 			n.prev = nil
 			n.next = nil
 			e.wheelCount--
-			// Level-1 slots flush straight into the heap rather than taking
-			// an intermediate hop through level 0: a slot there spans only 64
-			// ticks, and the heap's (at, priority, seq) order makes the
-			// placement policy unobservable, so the extra O(log heap) sift is
-			// cheaper than re-touching every node a second time.
-			if l <= 1 || tickOf(n.at) <= e.curTick {
+			// Only due events (tick <= curTick) enter the heap; everything
+			// else cascades to a lower level, level-1 slots included. The
+			// heap's (at, priority, seq) order makes the placement policy
+			// unobservable either way, but cascading keeps the heap at
+			// same-tick size: at many-task event rates a level-1 slot holds
+			// hundreds of events spanning 260 µs, and parking those in the
+			// heap turns every push and pop into a deep sift. An extra O(1)
+			// wheelPlace hop per node is cheaper than that.
+			if l == 0 || tickOf(n.at) <= e.curTick {
 				e.heapPush(n)
 			} else {
 				e.wheelPlace(n)

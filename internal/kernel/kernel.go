@@ -5,11 +5,18 @@
 // one-shot POSIX timers with SIGALRM delivery and per-thread signal masks,
 // and CPU affinity.
 //
-// Simulated threads are ordinary Go functions: each runs on its own
-// goroutine, but exactly one simulated thread executes host code at a time,
-// hand-shaken with the engine through unbuffered channels, so simulations
-// are fully deterministic. Virtual time passes only inside kernel
-// primitives, priced by the machine cost model.
+// Simulated thread bodies come in two forms behind one API. The
+// continuation executor (NewBodyThread) is the production path: a body is a
+// resumable state machine whose Step the kernel calls inline from its
+// dispatch path, so a context switch is a function call and a simulation
+// needs no goroutines regardless of thread count. The goroutine executor
+// (NewThread) models a body as an ordinary blocking Go function on its own
+// goroutine, hand-shaken with the kernel through unbuffered channels; it is
+// retained as the differential oracle (both executors produce byte-identical
+// traces for the same program) and for tests where a blocking script reads
+// better. Either way exactly one simulated thread executes host code at a
+// time, so simulations are fully deterministic. Virtual time passes only
+// inside kernel primitives, priced by the machine cost model.
 package kernel
 
 import (
@@ -118,9 +125,12 @@ func (k *Kernel) RunUntil(deadline engine.Time) {
 }
 
 // Shutdown force-terminates every simulated thread that has not exited.
-// Blocked or sleeping threads are unwound at their current kernel call. The
+// Blocked or sleeping threads are unwound at their current kernel call:
+// continuation threads are simply marked exited (there is nothing to
+// unwind), goroutine threads have their parked goroutines released. The
 // kernel must be quiescent (no thread mid-handoff), which is always the case
-// between engine events.
+// between engine events. After Shutdown no goroutine created by either
+// executor remains.
 func (k *Kernel) Shutdown() {
 	for _, t := range k.threads {
 		t.kill()
@@ -283,10 +293,18 @@ func (k *Kernel) setCurrent(c *cpu, t *Thread) {
 }
 
 // resumeThread hands the CPU to t's host code and handles the next kernel
-// request it issues. Exactly one thread runs host code at a time.
+// request it issues. Exactly one thread runs host code at a time. On the
+// continuation executor the "context switch" is a plain call into the
+// body's Step; on the goroutine executor it is a channel round-trip with
+// the thread's parked goroutine.
 //
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) resumeThread(t *Thread, reply replyMsg) {
+	if t.stepBody != nil {
+		k.stepThread(t, reply)
+		return
+	}
 	t.reply = reply
 	t.run <- resumeMsg{}
 	<-t.yielded

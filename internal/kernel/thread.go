@@ -74,15 +74,28 @@ type Thread struct {
 
 	body func(*TCB)
 
-	// Goroutine handshake. The kernel sends on run to let the thread's
-	// host code execute; the thread sends on yielded after recording its
-	// next request. done is closed when the goroutine ends.
+	// Goroutine handshake (goroutine executor only). The kernel sends on
+	// run to let the thread's host code execute; the thread sends on
+	// yielded after recording its next request. done is closed when the
+	// goroutine ends. Continuation threads leave all three nil.
 	run     chan resumeMsg
 	yielded chan struct{}
 	done    chan struct{}
 	started bool
 	killed  bool
 	unbound bool
+
+	// Continuation executor (body.go). stepBody non-nil selects it: the
+	// kernel drives the body's state machine inline from its dispatch path
+	// and the channels above are never created. tcb is the pre-allocated
+	// TCB handed to every Step, stepReply/stepFirst the pending Resume, and
+	// stepping/stepPending the trampoline state of stepThread.
+	stepBody    Body
+	tcb         TCB
+	stepReply   replyMsg
+	stepFirst   bool
+	stepping    bool
+	stepPending bool
 
 	req   request
 	reply replyMsg
@@ -167,10 +180,28 @@ func (t *Thread) String() string {
 
 func (t *Thread) preemptible() bool { return t.state == StateComputing }
 
-// NewThread creates a simulated thread. The body runs when the thread is
-// started and first dispatched. NewThread returns an error for out-of-range
-// priorities or CPUs.
+// NewThread creates a simulated thread on the goroutine executor: the body
+// is a blocking function hand-shaken with the kernel over channels. The
+// body runs when the thread is started and first dispatched. NewThread
+// returns an error for out-of-range priorities or CPUs. New code should
+// prefer the continuation executor (NewBodyThread); the goroutine form is
+// retained as the differential oracle and for test scenarios where a
+// blocking script reads better.
 func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
+	t, err := k.newThread(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.body = body
+	t.run = make(chan resumeMsg)
+	t.yielded = make(chan struct{})
+	t.done = make(chan struct{})
+	return t, nil
+}
+
+// newThread builds and registers a thread with no body; the caller attaches
+// either the goroutine or the continuation form.
+func (k *Kernel) newThread(cfg ThreadConfig) (*Thread, error) {
 	if cfg.Priority < MinPriority || cfg.Priority > MaxPriority {
 		return nil, fmt.Errorf("kernel: priority %d out of range [%d,%d]", cfg.Priority, MinPriority, MaxPriority)
 	}
@@ -185,12 +216,9 @@ func (k *Kernel) NewThread(cfg ThreadConfig, body func(*TCB)) (*Thread, error) {
 		cpuID:      cfg.CPU,
 		k:          k,
 		state:      StateNew,
-		body:       body,
-		run:        make(chan resumeMsg),
-		yielded:    make(chan struct{}),
-		done:       make(chan struct{}),
 		dispatchOp: machine.OpContextSwitch,
 	}
+	t.tcb = TCB{t: t}
 	// The thread owns its waiter-list node for its whole lifetime:
 	// enqueueing links this pre-allocated node, so waiter lists never
 	// allocate on the scheduling path. (The ready queues use the intrusive
@@ -239,7 +267,9 @@ func (k *Kernel) MustNewThread(cfg ThreadConfig, body func(*TCB)) *Thread {
 	return t
 }
 
-// Start makes the thread ready at the current virtual time.
+// Start makes the thread ready at the current virtual time. A goroutine
+// body gets its host goroutine here; a continuation body needs none — its
+// first Step runs inline at the first dispatch.
 //
 //rtseed:kernelctx-entry quiescent setup: runs while the engine is stopped, serialized with the event loop
 func (t *Thread) Start() {
@@ -247,7 +277,9 @@ func (t *Thread) Start() {
 		panic("kernel: thread started twice")
 	}
 	t.started = true
-	go t.main()
+	if t.stepBody == nil {
+		go t.main()
+	}
 	t.k.makeReady(t, false)
 }
 
@@ -277,9 +309,12 @@ func (t *Thread) main() {
 	t.yielded <- struct{}{}
 }
 
-// kill force-terminates the goroutine of a thread parked in a kernel call.
+// kill force-terminates a thread parked in a kernel call. A continuation
+// thread has no goroutine to unwind: marking it exited is the whole job.
+// A goroutine thread's host goroutine is parked in syscall and must be
+// resumed with the kill flag so it panics out through killSentinel.
 func (t *Thread) kill() {
-	if !t.started || t.state == StateExited {
+	if t.stepBody != nil || !t.started || t.state == StateExited {
 		t.state = StateExited
 		t.k.unbind(t)
 		return
@@ -375,9 +410,13 @@ type request struct {
 	cv            *CondVar
 	interruptible bool
 	mask          bool
-	op            machine.Op
-	remote        machine.HWThread
-	mutex         *Mutex
+	// rel marks a continuation Sleep whose absolute wake time is resolved
+	// when the action executes (applyNext); the blocking TCB.Sleep resolves
+	// it at call time instead, which is the same virtual instant.
+	rel    bool
+	op     machine.Op
+	remote machine.HWThread
+	mutex  *Mutex
 }
 
 // syscall parks the calling thread goroutine, hands control to the kernel,

@@ -96,3 +96,38 @@ func annotatedLit() func() {
 
 // plainHelper never touches kernel context: never flagged.
 func plainHelper() int { return len(queue) }
+
+// --- continuation-body pattern ------------------------------------------
+
+// stepBody is a continuation task body: its Step method IS the thread's
+// host code and runs inside the kernel's dispatch, so Step is kernel
+// context like any other kernelctx function.
+type stepBody struct{ pc int }
+
+// Step advances the body by one action.
+//
+//rtseed:kernelctx
+func (b *stepBody) Step() {
+	b.pc++
+	enqueue(b.pc)
+}
+
+// executorStep: the executor driving a body's Step from kernel context is
+// the intended call site — accepted.
+//
+//rtseed:kernelctx
+func executorStep(b *stepBody) { b.Step() }
+
+// plainStep: nothing outside the kernel may step a continuation body
+// directly.
+func plainStep(b *stepBody) {
+	b.Step() // want `Step is //rtseed:kernelctx but is called from plain code`
+}
+
+// stepSpawner: a body's Step must never be spawned onto a goroutine — the
+// whole point of the continuation executor is that no goroutine exists.
+//
+//rtseed:kernelctx
+func stepSpawner(b *stepBody) {
+	go b.Step() // want `Step is //rtseed:kernelctx but is spawned on a new goroutine`
+}

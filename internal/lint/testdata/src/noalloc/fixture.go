@@ -132,3 +132,31 @@ func hotRingEmit(r *traceRing, observer func(traceRec), seq, at, arg uint64) {
 func hotWaived(free []*item, n *item) []*item {
 	return append(free, n) //rtseed:alloc-ok amortized free-list growth; steady state reuses capacity
 }
+
+// --- continuation-body patterns ------------------------------------------
+
+type action struct{ kind, dur int }
+
+type contBody struct {
+	pc      int
+	pending func() action
+}
+
+// Clean: the continuation-body idiom. A Step that advances a program
+// counter on pre-allocated state and returns a value-struct action
+// allocates nothing — this is the shape every steady-state body must have.
+//
+//rtseed:noalloc
+func (b *contBody) hotStepClean() action {
+	b.pc++
+	return action{kind: b.pc, dur: 2 * b.pc}
+}
+
+// Flagged: a continuation that builds a fresh capturing closure each step
+// re-introduces a per-event allocation and defeats the inline executor.
+//
+//rtseed:noalloc
+func (b *contBody) hotStepClosure() action {
+	b.pending = func() action { return action{kind: b.pc} } // want `closure captures b`
+	return b.pending()
+}

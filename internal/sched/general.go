@@ -34,11 +34,11 @@ func NewGeneralProcess(k *kernel.Kernel, tk task.Task, priority int, cpu machine
 	}
 	g := &GeneralProcess{k: k, tk: tk, jobs: jobs}
 	var err error
-	g.thread, err = k.NewThread(kernel.ThreadConfig{
+	g.thread, err = k.NewBodyThread(kernel.ThreadConfig{
 		Name:     tk.Name + ".general",
 		Priority: priority,
 		CPU:      cpu,
-	}, g.body)
+	}, &generalBody{p: g})
 	if err != nil {
 		return nil, err
 	}
@@ -61,19 +61,55 @@ func (g *GeneralProcess) Records() []task.JobRecord {
 // Stats summarizes the accumulated job records.
 func (g *GeneralProcess) Stats() task.Stats { return task.Summarize(g.records) }
 
-func (g *GeneralProcess) body(c *kernel.TCB) {
-	for job := 0; job < g.jobs; job++ {
-		release := engine.At(time.Duration(job) * g.tk.Period)
-		c.SleepUntil(release)
-		start := c.Now()
-		c.Compute(g.tk.WCET())
-		g.records = append(g.records, task.JobRecord{
-			Job:            job,
-			Release:        release.Duration(),
-			MandatoryStart: start.Duration(),
-			WindupStart:    start.Duration(),
+// generalPC is the program counter of the baseline continuation body.
+type generalPC uint8
+
+const (
+	// gpRelease: sleep until the next job's release, or exit when all jobs
+	// are done.
+	gpRelease generalPC = iota
+	// gpCompute: the release sleep returned; record the start and run the
+	// whole WCET as one block.
+	gpCompute
+	// gpFinish: the block completed; append the job record and loop.
+	gpFinish
+)
+
+// generalBody is the continuation form of the baseline job loop.
+type generalBody struct {
+	p       *GeneralProcess
+	job     int
+	release engine.Time
+	start   engine.Time
+	pc      generalPC
+}
+
+//rtseed:kernelctx
+func (b *generalBody) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	switch b.pc {
+	case gpRelease:
+		// Handled below; split out so gpFinish can fall through into it
+		// without issuing a no-op action.
+	case gpCompute:
+		b.start = c.Now()
+		b.pc = gpFinish
+		return kernel.Compute(b.p.tk.WCET())
+	case gpFinish:
+		b.p.records = append(b.p.records, task.JobRecord{
+			Job:            b.job,
+			Release:        b.release.Duration(),
+			MandatoryStart: b.start.Duration(),
+			WindupStart:    b.start.Duration(),
 			Finish:         c.Now().Duration(),
-			Deadline:       release.Add(g.tk.Deadline()).Duration(),
+			Deadline:       b.release.Add(b.p.tk.Deadline()).Duration(),
 		})
+		b.job++
+		b.pc = gpRelease
 	}
+	if b.job >= b.p.jobs {
+		return kernel.Done()
+	}
+	b.release = engine.At(time.Duration(b.job) * b.p.tk.Period)
+	b.pc = gpCompute
+	return kernel.SleepUntil(b.release)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rtseed/internal/engine"
 	"rtseed/internal/kernel"
 	"rtseed/internal/machine"
 	"rtseed/internal/task"
@@ -33,6 +34,12 @@ type ManyTaskConfig struct {
 	// cost of running task host code. The scaling benchmarks use this mode
 	// to compare queue implementations; compute mode to measure end-to-end.
 	ReleaseOnly bool
+	// GoroutineOracle runs each task body on the legacy goroutine executor
+	// (one goroutine per task, channel handshake per context switch) instead
+	// of the continuation executor. The workload is identical — the
+	// differential fuzzer runs the same task set in both modes and requires
+	// byte-identical traces. Production and benchmarks leave this false.
+	GoroutineOracle bool
 }
 
 // ManyTaskSystem is a built many-task workload: one kernel thread per task,
@@ -46,6 +53,58 @@ type ManyTaskSystem struct {
 
 // Jobs returns the number of completed jobs across all tasks.
 func (s *ManyTaskSystem) Jobs() int { return s.jobs }
+
+// manyTaskPC is the program counter of a many-task continuation body.
+type manyTaskPC uint8
+
+const (
+	// mtRelease: account the finished job (except on the first step) and
+	// sleep until the next release.
+	mtRelease manyTaskPC = iota
+	// mtMandatory: the release sleep returned; run the mandatory part.
+	mtMandatory
+	// mtWindup: the mandatory burst returned; run the wind-up part.
+	mtWindup
+)
+
+// manyTaskBody is the continuation form of a periodic task: sleep until
+// release, compute mandatory, compute wind-up, repeat. One value per task,
+// allocated once at workload construction; Step allocates nothing, so the
+// steady-state scaling benchmarks run at 0 allocs/op.
+type manyTaskBody struct {
+	sys         *ManyTaskSystem
+	period      time.Duration
+	mandatory   time.Duration
+	windup      time.Duration
+	release     engine.Time
+	pc          manyTaskPC
+	releaseOnly bool
+}
+
+//rtseed:noalloc
+//rtseed:kernelctx
+func (b *manyTaskBody) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	switch b.pc {
+	case mtRelease:
+		if r.First {
+			b.release = c.Now()
+		} else {
+			b.sys.jobs++
+			b.release = b.release.Add(b.period)
+		}
+		if !b.releaseOnly {
+			b.pc = mtMandatory
+		}
+		return kernel.SleepUntil(b.release)
+	case mtMandatory:
+		b.pc = mtWindup
+		return kernel.Compute(b.mandatory)
+	case mtWindup:
+		b.pc = mtRelease
+		return kernel.Compute(b.windup)
+	}
+	panic("sched: corrupt many-task body state")
+}
 
 // NewManyTask generates the task set and creates (but does not start) one
 // thread per task on k. Task i is pinned to hardware thread i mod NumHWThreads
@@ -84,33 +143,51 @@ func NewManyTask(k *kernel.Kernel, cfg ManyTaskConfig) (*ManyTaskSystem, error) 
 	nhw := k.Machine().Topology().NumHWThreads()
 	for i, tk := range set.Tasks {
 		tk := tk
-		body := func(c *kernel.TCB) {
-			for release := c.Now(); ; release = release.Add(tk.Period) {
-				c.SleepUntil(release)
-				c.Compute(tk.Mandatory)
-				c.Compute(tk.Windup)
-				sys.jobs++
-			}
-		}
-		if cfg.ReleaseOnly {
-			body = func(c *kernel.TCB) {
-				for release := c.Now(); ; release = release.Add(tk.Period) {
-					c.SleepUntil(release)
-					sys.jobs++
-				}
-			}
-		}
-		th, err := k.NewThread(kernel.ThreadConfig{
+		tcfg := kernel.ThreadConfig{
 			Name:     tk.Name,
 			Priority: prios[i],
 			CPU:      machine.HWThread(i % nhw),
-		}, body)
+		}
+		var th *kernel.Thread
+		var err error
+		if cfg.GoroutineOracle {
+			th, err = k.NewThread(tcfg, sys.goroutineBody(tk, cfg.ReleaseOnly))
+		} else {
+			th, err = k.NewBodyThread(tcfg, &manyTaskBody{
+				sys:         sys,
+				period:      tk.Period,
+				mandatory:   tk.Mandatory,
+				windup:      tk.Windup,
+				releaseOnly: cfg.ReleaseOnly,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
 		sys.Threads = append(sys.Threads, th)
 	}
 	return sys, nil
+}
+
+// goroutineBody is the legacy blocking form of the task body, retained as
+// the differential oracle for the continuation executor.
+func (s *ManyTaskSystem) goroutineBody(tk task.Task, releaseOnly bool) func(*kernel.TCB) {
+	if releaseOnly {
+		return func(c *kernel.TCB) {
+			for release := c.Now(); ; release = release.Add(tk.Period) {
+				c.SleepUntil(release)
+				s.jobs++
+			}
+		}
+	}
+	return func(c *kernel.TCB) {
+		for release := c.Now(); ; release = release.Add(tk.Period) {
+			c.SleepUntil(release)
+			c.Compute(tk.Mandatory)
+			c.Compute(tk.Windup)
+			s.jobs++
+		}
+	}
 }
 
 // Start makes every task thread ready at the current virtual time.

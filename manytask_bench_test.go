@@ -25,6 +25,13 @@ import (
 // manyTaskNs is the task-count sweep shared by the scale benchmarks.
 var manyTaskNs = []int{1, 16, 128, 1024}
 
+// manyTaskKernelNs extends the sweep for the kernel benchmark: with
+// continuation bodies a simulated thread is one struct, not a goroutine, so
+// the kernel scales to task counts the handshake executor could never
+// reach. n=131072 exceeds the simulated Xeon Phi's 228 hardware threads by
+// 575× and must still run at 0 allocs/op steady state.
+var manyTaskKernelNs = []int{1, 16, 128, 1024, 16384, 131072}
+
 // BenchmarkManyTaskKernel measures the kernel's steady-state cost per
 // engine event with n periodic tasks pinned round-robin over all 228
 // hardware threads of the simulated Xeon Phi 3120A. Each op is one event
@@ -34,16 +41,17 @@ var manyTaskNs = []int{1, 16, 128, 1024}
 // The release variant runs sleep-only task bodies, so every event is
 // scheduling-core work — timer arm and fire, dispatch, requeue — and the
 // queue-structure swap dominates the number. The compute variant runs the
-// full mandatory+wind-up job bodies; its per-event cost includes the
-// goroutine handshake that models host code execution, a fixed cost both
-// queue implementations share.
+// full mandatory+wind-up job bodies. Bodies are continuation state machines
+// stepped inline by the kernel (internal/kernel/body.go): running host code
+// is a function call, so there is no goroutine-handshake floor under the
+// per-event cost, and no goroutines regardless of n.
 func BenchmarkManyTaskKernel(b *testing.B) {
 	for _, mode := range []struct {
 		name        string
 		releaseOnly bool
 	}{{"release", true}, {"compute", false}} {
 		mode := mode
-		for _, n := range manyTaskNs {
+		for _, n := range manyTaskKernelNs {
 			n := n
 			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
 				mach := machine.MustNew(machine.XeonPhi3120A(), machine.NoLoad, noJitter(), 1)
