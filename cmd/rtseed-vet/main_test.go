@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"go/token"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -116,47 +117,250 @@ func TestJSONCleanTreeEmitsEmptyArray(t *testing.T) {
 	}
 }
 
-// TestSchemaFileAgreesWithStruct keeps schema.json and the Go struct from
-// drifting apart: every property the schema publishes must be a field of the
-// struct's JSON surface and vice versa, and all must be required.
+// TestSchemaFileAgreesWithStruct keeps schema.json and the Go types from
+// drifting apart: the findings definition must publish exactly the fields the
+// CLI emits (all required), and the stats definition must enumerate exactly
+// the waiver directives the suite counts.
 func TestSchemaFileAgreesWithStruct(t *testing.T) {
 	raw, err := os.ReadFile("schema.json")
 	if err != nil {
 		t.Fatalf("reading published schema: %v", err)
 	}
 	var schema struct {
-		Type  string `json:"type"`
-		Items struct {
-			Properties           map[string]json.RawMessage `json:"properties"`
-			Required             []string                   `json:"required"`
-			AdditionalProperties bool                       `json:"additionalProperties"`
-		} `json:"items"`
+		OneOf []struct {
+			Ref string `json:"$ref"`
+		} `json:"oneOf"`
+		Defs struct {
+			Findings struct {
+				Type  string `json:"type"`
+				Items struct {
+					Properties           map[string]json.RawMessage `json:"properties"`
+					Required             []string                   `json:"required"`
+					AdditionalProperties bool                       `json:"additionalProperties"`
+				} `json:"items"`
+			} `json:"findings"`
+			Stats struct {
+				Type       string   `json:"type"`
+				Required   []string `json:"required"`
+				Properties struct {
+					Directives struct {
+						PropertyNames struct {
+							Enum []string `json:"enum"`
+						} `json:"propertyNames"`
+					} `json:"directives"`
+				} `json:"properties"`
+			} `json:"stats"`
+		} `json:"$defs"`
 	}
 	if err := json.Unmarshal(raw, &schema); err != nil {
 		t.Fatalf("schema.json is not valid JSON: %v", err)
 	}
-	if schema.Type != "array" {
-		t.Errorf("schema type = %q, want array", schema.Type)
+
+	refs := map[string]bool{}
+	for _, o := range schema.OneOf {
+		refs[o.Ref] = true
 	}
-	if schema.Items.AdditionalProperties {
-		t.Error("schema must forbid additional properties")
+	for _, want := range []string{"#/$defs/findings", "#/$defs/stats"} {
+		if !refs[want] {
+			t.Errorf("schema oneOf lacks %q", want)
+		}
+	}
+
+	findings := schema.Defs.Findings
+	if findings.Type != "array" {
+		t.Errorf("findings type = %q, want array", findings.Type)
+	}
+	if findings.Items.AdditionalProperties {
+		t.Error("findings schema must forbid additional properties")
 	}
 	structFields := []string{"analyzer", "file", "line", "col", "message"}
 	for _, f := range structFields {
-		if _, ok := schema.Items.Properties[f]; !ok {
+		if _, ok := findings.Items.Properties[f]; !ok {
 			t.Errorf("schema.json lacks property %q emitted by the CLI", f)
 		}
 	}
-	if len(schema.Items.Properties) != len(structFields) {
-		t.Errorf("schema publishes %d properties, CLI emits %d", len(schema.Items.Properties), len(structFields))
+	if len(findings.Items.Properties) != len(structFields) {
+		t.Errorf("schema publishes %d properties, CLI emits %d", len(findings.Items.Properties), len(structFields))
 	}
 	required := map[string]bool{}
-	for _, r := range schema.Items.Required {
+	for _, r := range findings.Items.Required {
 		required[r] = true
 	}
 	for _, f := range structFields {
 		if !required[f] {
 			t.Errorf("schema does not require %q", f)
+		}
+	}
+
+	stats := schema.Defs.Stats
+	if stats.Type != "object" {
+		t.Errorf("stats type = %q, want object", stats.Type)
+	}
+	if len(stats.Required) != 1 || stats.Required[0] != "directives" {
+		t.Errorf("stats required = %v, want [directives]", stats.Required)
+	}
+	enum := map[string]bool{}
+	for _, name := range stats.Properties.Directives.PropertyNames.Enum {
+		enum[name] = true
+	}
+	for _, name := range suite.WaiverDirectives {
+		if !enum[name] {
+			t.Errorf("stats schema does not enumerate directive %q counted by the suite", name)
+		}
+	}
+	if len(enum) != len(suite.WaiverDirectives) {
+		t.Errorf("stats schema enumerates %d directives, suite counts %d", len(enum), len(suite.WaiverDirectives))
+	}
+}
+
+// --- -stats and -budget over the waived mini-module ----------------------
+
+// schemaStats mirrors the stats definition of schema.json exactly;
+// DisallowUnknownFields makes the decode fail if the CLI starts emitting
+// fields the schema does not publish.
+type schemaStats struct {
+	Directives map[string]int `json:"directives"`
+}
+
+// decodeStats strictly decodes a -stats document.
+func decodeStats(t *testing.T, s string) schemaStats {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(s))
+	dec.DisallowUnknownFields()
+	var stats schemaStats
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("-stats output does not strictly decode against the schema struct: %v\n%s", err, s)
+	}
+	return stats
+}
+
+func TestStatsCensusOverWaivedTree(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/waived", "-stats")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, stderr)
+	}
+	stats := decodeStats(t, stdout)
+	for _, name := range suite.WaiverDirectives {
+		want := 0
+		if name == "alloc-ok" {
+			want = 1
+		}
+		got, ok := stats.Directives[name]
+		if !ok {
+			t.Errorf("census lacks directive %q; every known name must appear", name)
+		} else if got != want {
+			t.Errorf("census[%q] = %d, want %d", name, got, want)
+		}
+	}
+	if len(stats.Directives) != len(suite.WaiverDirectives) {
+		t.Errorf("census has %d entries, want %d", len(stats.Directives), len(suite.WaiverDirectives))
+	}
+}
+
+func TestStatsFindingsGoToStderr(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/findings", "-stats")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (findings still fail -stats runs)", code)
+	}
+	decodeStats(t, stdout) // stdout must stay pure census JSON
+	if !strings.Contains(stderr, "[noalloc]") {
+		t.Errorf("findings did not reach stderr: %q", stderr)
+	}
+}
+
+// writeBudget writes a budget file with the given counts and returns its path.
+func writeBudget(t *testing.T, counts map[string]int) string {
+	t.Helper()
+	full := map[string]int{}
+	for _, name := range suite.WaiverDirectives {
+		full[name] = counts[name]
+	}
+	raw, err := json.Marshal(schemaStats{Directives: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lint-budget.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBudgetGrowthFails(t *testing.T) {
+	path := writeBudget(t, map[string]int{"alloc-ok": 0})
+	before, _ := os.ReadFile(path)
+	code, _, stderr := vet(t, "testdata/waived", "-budget", path)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "waiver budget exceeded") || !strings.Contains(stderr, "alloc-ok") {
+		t.Errorf("budget violation not named: %q", stderr)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Error("budget file was rewritten on a failing run")
+	}
+}
+
+func TestBudgetLoweringRegenerates(t *testing.T) {
+	path := writeBudget(t, map[string]int{"alloc-ok": 5})
+	code, _, stderr := vet(t, "testdata/waived", "-budget", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "regenerated") {
+		t.Errorf("lowering did not announce the rewrite: %q", stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeStats(t, string(raw))
+	if got.Directives["alloc-ok"] != 1 {
+		t.Errorf("regenerated budget[alloc-ok] = %d, want 1", got.Directives["alloc-ok"])
+	}
+}
+
+func TestBudgetExactMatchLeavesFileAlone(t *testing.T) {
+	path := writeBudget(t, map[string]int{"alloc-ok": 1})
+	before, _ := os.ReadFile(path)
+	code, _, stderr := vet(t, "testdata/waived", "-budget", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, stderr)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Error("budget file was rewritten although the census matches it exactly")
+	}
+}
+
+func TestBudgetMissingFileIsAnError(t *testing.T) {
+	code, _, stderr := vet(t, "testdata/waived", "-budget", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (stderr %q)", code, stderr)
+	}
+}
+
+// TestCommittedBudgetMatchesTree pins the repository's own lint-budget.json
+// to the live tree: a mismatch in either direction means a waiver was added
+// or removed without running make lint.
+func TestCommittedBudgetMatchesTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	_, stats, err := suite.RunWithStats("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile("../../lint-budget.json")
+	if err != nil {
+		t.Fatalf("reading committed budget: %v", err)
+	}
+	budget := decodeStats(t, string(raw))
+	for _, name := range suite.WaiverDirectives {
+		if got, want := stats.Directives[name], budget.Directives[name]; got != want {
+			t.Errorf("tree has %d //rtseed:%s directives, lint-budget.json records %d (run make lint to reconcile)",
+				got, name, want)
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module vetfixture/waived
+
+go 1.24

@@ -1,0 +1,14 @@
+// Package waived carries exactly one live waiver-class directive, so the
+// -stats census over this tree is deterministic: alloc-ok 1, all else 0.
+// The tree still exits 0 — the waiver shields a real finding, so neither
+// noalloc nor waiverdrift objects.
+package waived
+
+// Grow allocates on purpose inside a noalloc contract; the waiver keeps the
+// finding quiet and itself alive.
+//
+//rtseed:noalloc
+func Grow(n int) []int {
+	//rtseed:alloc-ok fixture keeps this deliberate allocation
+	return make([]int, n)
+}

@@ -121,7 +121,7 @@ type Engine struct {
 	steps uint64
 
 	// Hierarchical timing wheel; see wheel.go for the invariants.
-	curTick    uint64
+	curTick    tick
 	occupied   [wheelLevels]uint64
 	slots      [wheelLevels][wheelSlots]*node
 	wheelCount int
@@ -129,7 +129,7 @@ type Engine struct {
 	// the smallest occupied slot base, valid while wheelCount > 0. It lets
 	// ensureMin's common case — heap top due before anything in the wheel —
 	// skip the per-level bitmap scan entirely.
-	wheelMinLB uint64
+	wheelMinLB tick
 }
 
 // New returns an empty engine with the clock at zero.

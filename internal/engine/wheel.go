@@ -55,10 +55,25 @@ const (
 	maxDelta = 1<<(wheelBits*wheelLevels) - 1
 )
 
-// tickOf quantizes a virtual instant to a wheel tick.
+// tick is a wheel tick: virtual time quantized to 2^tickShift ns. It is a
+// distinct type from Time so the two units cannot be mixed silently — the
+// timeunits analyzer treats tick↔Time conversions outside the declared
+// helpers (tickOf, tick.start) as findings. Slot indices and slot bases
+// stay in the tick domain; only node.at keeps nanosecond resolution.
+type tick uint64
+
+// tickOf quantizes a virtual instant to a wheel tick. It is the one
+// sanctioned ns→tick conversion.
 //
 //rtseed:noalloc
-func tickOf(t Time) uint64 { return uint64(t) >> tickShift }
+func tickOf(t Time) tick { return tick(uint64(t) >> tickShift) }
+
+// start returns the virtual instant at which a tick begins: the inverse of
+// tickOf, exact for tick-aligned instants. It is the one sanctioned
+// tick→ns conversion.
+//
+//rtseed:noalloc
+func (tk tick) start() Time { return Time(int64(tk) << tickShift) }
 
 // wheelPlace links n into the slot matching its timestamp. The caller
 // guarantees tickOf(n.at) > curTick.
@@ -66,11 +81,11 @@ func tickOf(t Time) uint64 { return uint64(t) >> tickShift }
 //rtseed:noalloc
 //rtseed:kernelctx
 func (e *Engine) wheelPlace(n *node) {
-	tick := tickOf(n.at)
-	delta := tick - e.curTick
+	tk := tickOf(n.at)
+	delta := tk - e.curTick
 	if delta > maxDelta {
 		delta = maxDelta
-		tick = e.curTick + maxDelta
+		tk = e.curTick + maxDelta
 	}
 	l := 0
 	for l < wheelLevels-1 && delta >= 1<<(uint(l+1)*wheelBits) {
@@ -78,19 +93,19 @@ func (e *Engine) wheelPlace(n *node) {
 	}
 	shift := uint(l) * wheelBits
 	// Full-wrap guard (invariant 3): delta < 64·2^shift still allows
-	// tick>>shift to land exactly 64 past the current position, which would
+	// tk>>shift to land exactly 64 past the current position, which would
 	// alias the level's current slot. Push such events one level up — there
 	// they sit exactly one slot ahead — or, at the top level, clamp to the
 	// farthest non-aliasing slot (the event re-places itself on cascade).
-	if (tick>>shift)-(e.curTick>>shift) >= wheelSlots {
+	if (tk>>shift)-(e.curTick>>shift) >= wheelSlots {
 		if l == wheelLevels-1 {
-			tick = ((e.curTick >> shift) + wheelSlots - 1) << shift
+			tk = ((e.curTick >> shift) + wheelSlots - 1) << shift
 		} else {
 			l++
 			shift += wheelBits
 		}
 	}
-	s := int((tick >> shift) & wheelMask)
+	s := int((tk >> shift) & wheelMask)
 	n.index = idxWheel
 	n.level = int16(l)
 	n.slot = int16(s)
@@ -102,7 +117,7 @@ func (e *Engine) wheelPlace(n *node) {
 	e.slots[l][s] = n
 	e.occupied[l] |= 1 << uint(s)
 	e.wheelCount++
-	if base := (tick >> shift) << shift; e.wheelCount == 1 || base < e.wheelMinLB {
+	if base := (tk >> shift) << shift; e.wheelCount == 1 || base < e.wheelMinLB {
 		e.wheelMinLB = base
 	}
 }
@@ -137,9 +152,9 @@ func (e *Engine) wheelRemove(n *node) {
 // trailing-zeros count.
 //
 //rtseed:noalloc
-func (e *Engine) wheelNextSlot() (level int, lb uint64) {
+func (e *Engine) wheelNextSlot() (level int, lb tick) {
 	bestLevel := -1
-	var bestLB uint64
+	var bestLB tick
 	for l := 0; l < wheelLevels; l++ {
 		occ := e.occupied[l]
 		if occ == 0 {
@@ -149,7 +164,7 @@ func (e *Engine) wheelNextSlot() (level int, lb uint64) {
 		cur := e.curTick >> shift
 		pos := int(cur & wheelMask)
 		rot := bits.RotateLeft64(occ, -pos)
-		d := uint64(bits.TrailingZeros64(rot))
+		d := tick(bits.TrailingZeros64(rot))
 		slotLB := (cur + d) << shift
 		if bestLevel < 0 || slotLB < bestLB {
 			bestLevel, bestLB = l, slotLB

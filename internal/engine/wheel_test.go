@@ -7,6 +7,23 @@ import (
 
 const tickNs = 1 << tickShift
 
+// TestTickRoundTrip pins the two sanctioned unit conversions against each
+// other: tick.start is the exact inverse of tickOf on tick-aligned
+// instants, and tickOf floors everything inside a tick to its start.
+func TestTickRoundTrip(t *testing.T) {
+	for _, tk := range []tick{0, 1, 63, 64, 1 << 20} {
+		if got := tickOf(tk.start()); got != tk {
+			t.Fatalf("tickOf(tick(%d).start()) = %d, want %d", tk, got, tk)
+		}
+	}
+	for _, at := range []Time{0, 1, tickNs - 1, tickNs, 3*tickNs + 17} {
+		want := Time(at/tickNs) * tickNs
+		if got := tickOf(at).start(); got != want {
+			t.Fatalf("tickOf(%d).start() = %d, want %d", at, got, want)
+		}
+	}
+}
+
 // TestWheelLevelPlacement pins the slot-sizing rule: an event delta ticks
 // out lands in the lowest level whose span covers delta.
 func TestWheelLevelPlacement(t *testing.T) {

@@ -1,0 +1,12 @@
+package bodystep_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/bodystep"
+)
+
+func TestBodyStep(t *testing.T) {
+	analysistest.Run(t, bodystep.Analyzer, "../testdata/src/bodystep")
+}

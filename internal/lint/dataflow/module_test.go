@@ -1,0 +1,99 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"rtseed/internal/lint"
+)
+
+// collectBodies walks a file and hands every function body — declarations
+// and literals — to fn.
+func collectBodies(file *ast.File, fn func(pos token.Pos, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			fn(n.Pos(), n.Body)
+		case *ast.FuncLit:
+			fn(n.Pos(), n.Body)
+		}
+		return true
+	})
+}
+
+// TestCFGInvariantsModuleWide builds a CFG for every function body in the
+// module — declarations and literals alike — and asserts the structural
+// invariants. The unit tests in cfg_test.go cover each statement form in
+// isolation; this test covers every combination the real tree actually
+// contains, so a construction bug that only bites on some nesting the
+// fixtures never spell out still fails CI.
+func TestCFGInvariantsModuleWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := lint.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	bodies := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			collectBodies(file, func(pos token.Pos, body *ast.BlockStmt) {
+				c := BuildCFG(body)
+				if err := CheckInvariants(c); err != nil {
+					t.Errorf("%s: %v", pkg.Fset.Position(pos), err)
+				}
+				bodies++
+			})
+		}
+	}
+	// The module has hundreds of function bodies; a tiny count means the
+	// load silently matched almost nothing and the test proved nothing.
+	if bodies < 100 {
+		t.Errorf("only %d function bodies checked; the module load looks wrong", bodies)
+	}
+	t.Logf("checked %d function bodies", bodies)
+}
+
+// FuzzCFGBuild throws arbitrary function bodies at the CFG builder: anything
+// the Go parser accepts must build without panicking and satisfy the
+// structural invariants. The seeds are the trickiest shapes from the unit
+// tests — labeled break/continue, goto, fallthrough, panic edges — so the
+// fuzzer starts from the interesting region of the grammar.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		``,
+		`x := 1; if x > 0 { x = 2 } else { x = 3 }; _ = x`,
+		`x := 1; if x > 0 { return }; _ = x`,
+		`for i := 0; i < 3; i++ { if i == 1 { continue }; if i == 2 { break } }`,
+		`for { }`,
+		`s := []int{1}; for _, v := range s { _ = v }`,
+		`x := 1; switch x { case 1: x = 2; fallthrough; case 2: x = 3; default: x = 4 }; _ = x`,
+		`select { }`,
+		`panic("x")`,
+		`x := 1; if x > 0 { panic("x") }; _ = x`,
+		"outer:\n\tfor i := 0; i < 3; i++ {\n\t\tfor j := 0; j < 3; j++ {\n\t\t\tif j == 1 {\n\t\t\t\tcontinue outer\n\t\t\t}\n\t\t\tif j == 2 {\n\t\t\t\tbreak outer\n\t\t\t}\n\t\t}\n\t}",
+		"\ti := 0\nloop:\n\ti++\n\tif i < 3 {\n\t\tgoto loop\n\t}",
+		`f := func() {}; defer f(); if true { defer f() }`,
+		`go func() { for { select {} } }()`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "f.go", src, 0)
+		if err != nil {
+			t.Skip() // not a parseable body; the builder never sees those
+		}
+		collectBodies(file, func(pos token.Pos, b *ast.BlockStmt) {
+			c := BuildCFG(b)
+			if err := CheckInvariants(c); err != nil {
+				t.Fatalf("invariants violated at %s: %v\nbody:\n%s", fset.Position(pos), err, body)
+			}
+		})
+	})
+}

@@ -1,0 +1,117 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Defs is a reaching-definitions state: for each variable, the set of
+// definition sites (assignments, declarations, range bindings, or the
+// function's parameter list for parameters) that may reach this point.
+type Defs map[types.Object]map[ast.Node]bool
+
+func (d Defs) set(obj types.Object, site ast.Node) {
+	if obj == nil {
+		return
+	}
+	d[obj] = map[ast.Node]bool{site: true}
+}
+
+// ReachingProblem builds the reaching-definitions dataflow problem for one
+// function. fnDecl's parameters and named results are bound at entry to the
+// field that declares them. info resolves identifiers to objects.
+func ReachingProblem(info *types.Info, fnType *ast.FuncType) Problem[Defs] {
+	return Problem[Defs]{
+		Entry: func() Defs {
+			d := make(Defs)
+			bind := func(fl *ast.FieldList) {
+				if fl == nil {
+					return
+				}
+				for _, f := range fl.List {
+					for _, name := range f.Names {
+						d.set(info.ObjectOf(name), f)
+					}
+				}
+			}
+			bind(fnType.Params)
+			bind(fnType.Results)
+			return d
+		},
+		Copy: func(d Defs) Defs {
+			out := make(Defs, len(d))
+			for obj, sites := range d {
+				cp := make(map[ast.Node]bool, len(sites))
+				for s := range sites {
+					cp[s] = true
+				}
+				out[obj] = cp
+			}
+			return out
+		},
+		Join: func(dst, src Defs) bool {
+			changed := false
+			for obj, sites := range src {
+				cur, ok := dst[obj]
+				if !ok {
+					cur = make(map[ast.Node]bool, len(sites))
+					dst[obj] = cur
+				}
+				for s := range sites {
+					if !cur[s] {
+						cur[s] = true
+						changed = true
+					}
+				}
+			}
+			return changed
+		},
+		Node: func(n ast.Node, d Defs) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						d.set(info.ObjectOf(id), n)
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := n.X.(*ast.Ident); ok {
+					d.set(info.ObjectOf(id), n)
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, name := range vs.Names {
+								d.set(info.ObjectOf(name), vs)
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					d.set(info.ObjectOf(id), n)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					d.set(info.ObjectOf(id), n)
+				}
+			case *ast.TypeSwitchStmt:
+				if as, ok := n.Assign.(*ast.AssignStmt); ok {
+					for _, l := range as.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							d.set(info.ObjectOf(id), n)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// ReachingDefs solves reaching definitions over c and returns the IN state
+// of every block. Pair with Replay (using the same Problem) to read the
+// facts at a particular node.
+func ReachingDefs(c *CFG, info *types.Info, fnType *ast.FuncType) (map[*Block]Defs, Problem[Defs]) {
+	p := ReachingProblem(info, fnType)
+	return Forward(c, p), p
+}

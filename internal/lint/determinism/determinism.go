@@ -1,24 +1,27 @@
 // Package determinism flags constructs that break the simulator's core
 // guarantee — that a run is a pure function of its seed — inside the
-// simulation packages: wall-clock reads, the process-global math/rand
-// source, environment-dependent values, and map iteration feeding results
-// without a deterministic order. Findings are waived line-by-line or
+// simulation packages. This is the syntactic tier: calls that are wrong at
+// the call site regardless of where their values go — blocking on host
+// timers (time.Sleep, time.NewTimer, ...), drawing from the process-global
+// math/rand source, and reading the environment. Value-flow cases (a
+// time.Now() result or a map's iteration order reaching results) belong to
+// the detflow analyzer, which taint-tracks them and flags only values that
+// actually escape. Findings from both are waived line-by-line or
 // function-by-function with //rtseed:nondeterministic-ok <reason>.
 package determinism
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
 	"rtseed/internal/lint"
 )
 
-// Analyzer is the determinism checker.
+// Analyzer is the syntactic determinism checker.
 var Analyzer = &lint.Analyzer{
 	Name:      "determinism",
-	Doc:       "flag wall-clock, global rand, env reads, and unsorted map iteration in simulation packages",
+	Doc:       "flag host-timer blocking, global rand, and env reads in simulation packages",
 	AppliesTo: InScope,
 	Run:       run,
 }
@@ -36,11 +39,12 @@ func InScope(importPath string) bool {
 	return lint.IsInternalPkg(importPath, scopedPackages...)
 }
 
-// wallClockFuncs are the package-level time functions that read or depend on
-// the host's clock. time.Duration arithmetic and formatting stay legal.
+// wallClockFuncs are the package-level time functions that block on or arm
+// the host's clock — side effects no dataflow can excuse. The value readers
+// (Now, Since, Until) are the detflow analyzer's job: their results are
+// only a problem when they reach results, and taint tracking decides that.
 var wallClockFuncs = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "AfterFunc": true, "Tick": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
 	"NewTicker": true, "NewTimer": true,
 }
 
@@ -49,11 +53,8 @@ var envFuncs = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": tru
 
 func run(pass *lint.Pass) error {
 	pass.InspectFuncs(func(file *ast.File, decl *ast.FuncDecl, n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkCall(pass, decl, n)
-		case *ast.RangeStmt:
-			checkMapRange(pass, decl, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkCall(pass, decl, call)
 		}
 		return true
 	})
@@ -73,7 +74,7 @@ func checkCall(pass *lint.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
 	var msg string
 	switch {
 	case pkgPath == "time" && wallClockFuncs[name]:
-		msg = "reads the wall clock; simulation code must use virtual engine.Time"
+		msg = "blocks on the host clock; simulation code must use virtual engine.Time"
 	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !strings.HasPrefix(name, "New"):
 		msg = "uses the global math/rand source; use a seeded engine.Rand (or rand.New) so runs reproduce"
 	case pkgPath == "os" && envFuncs[name]:
@@ -85,116 +86,4 @@ func checkCall(pass *lint.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
 		return
 	}
 	pass.Reportf(call.Pos(), "call to %s.%s %s", pkgPath, name, msg)
-}
-
-// checkMapRange flags `for ... := range m` over a map when the body appends
-// to a variable declared outside the loop and no sort call over that
-// variable follows the loop in the same function: the appended order is the
-// map's randomized iteration order.
-func checkMapRange(pass *lint.Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) {
-	tv, ok := pass.TypesInfo().Types[rs.X]
-	if !ok || tv.Type == nil {
-		return
-	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
-	}
-	sinks := appendSinks(pass, rs)
-	if len(sinks) == 0 {
-		return
-	}
-	if pass.WaivedIn(decl, rs.Pos(), lint.DirNondeterministic) {
-		return
-	}
-	for _, sink := range sinks {
-		if decl != nil && sortedAfter(pass, decl.Body, rs.End(), sink) {
-			continue
-		}
-		pass.Reportf(rs.Pos(), "map iteration appends to %q in map order; sort %q afterwards (or sort the keys first)",
-			sink.Name(), sink.Name())
-		return // one finding per loop is enough
-	}
-}
-
-// appendSinks returns the variables declared outside rs that the loop body
-// appends to.
-func appendSinks(pass *lint.Pass, rs *ast.RangeStmt) []*types.Var {
-	var sinks []*types.Var
-	seen := map[*types.Var]bool{}
-	ast.Inspect(rs.Body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for i, rhs := range assign.Rhs {
-			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				continue
-			}
-			if b := pass.CalleeBuiltin(call); b == nil || b.Name() != "append" {
-				continue
-			}
-			if i >= len(assign.Lhs) {
-				continue
-			}
-			v := identVar(pass, assign.Lhs[i])
-			if v == nil || v != identVar(pass, call.Args[0]) {
-				continue
-			}
-			// Declared outside the range statement?
-			if v.Pos() >= rs.Pos() && v.Pos() <= rs.End() {
-				continue
-			}
-			if !seen[v] {
-				seen[v] = true
-				sinks = append(sinks, v)
-			}
-		}
-		return true
-	})
-	return sinks
-}
-
-// sortedAfter reports whether body contains, after pos, a call into package
-// sort or slices that takes v as an argument.
-func sortedAfter(pass *lint.Pass, body *ast.BlockStmt, pos token.Pos, v *types.Var) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < pos {
-			return true
-		}
-		fn := pass.CalleeFunc(call)
-		if fn == nil || fn.Pkg() == nil {
-			return true
-		}
-		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
-			return true
-		}
-		for _, arg := range call.Args {
-			if identVar(pass, arg) == v {
-				found = true
-				return false
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// identVar resolves expr to the variable it names, or nil.
-func identVar(pass *lint.Pass, expr ast.Expr) *types.Var {
-	id, ok := ast.Unparen(expr).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	obj := pass.TypesInfo().Uses[id]
-	if obj == nil {
-		obj = pass.TypesInfo().Defs[id]
-	}
-	v, _ := obj.(*types.Var)
-	return v
 }

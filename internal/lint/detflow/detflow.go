@@ -1,0 +1,513 @@
+// Package detflow implements taint-based determinism checking: the dataflow
+// successor to the determinism analyzer's value rules.
+//
+// The syntactic determinism analyzer flags every wall-clock read in the
+// simulation packages, which forces waivers onto code whose clock values
+// never escape (busy-wait loops, local latency probes). This analyzer flags
+// a nondeterministic value only when it actually reaches a sink — when the
+// run's output stops being a pure function of its seed:
+//
+//   - sources: wall-clock reads (time.Now/Since/Until), the process-global
+//     math/rand source, environment reads (os.Getenv and friends), and the
+//     iteration order of a map range;
+//   - propagation: assignments, arithmetic, composite literals, calls with
+//     tainted arguments or receivers — the CFG + worklist solver from
+//     internal/lint/dataflow carries taint through locals and struct
+//     fields, so laundering is visible;
+//   - sinks: returned values, stores that outlive the call (package
+//     variables, named results, fields reached through pointer parameters
+//     or captured variables), channel sends, and arguments to
+//     rtseed/internal/trace calls.
+//
+// Two deliberate imprecisions keep the signal usable: map-iteration-order
+// taint does not survive binary arithmetic (order-insensitive reductions —
+// sums, min/max, counts — are the common benign pattern), and a call into
+// package sort or slices clears map-order taint from its argument, because
+// sorting re-establishes a deterministic order. Findings are waived with
+// //rtseed:nondeterministic-ok <reason>, the same directive the syntactic
+// analyzer consumes — one escape hatch per contract, not per checker.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rtseed/internal/lint"
+	"rtseed/internal/lint/dataflow"
+	"rtseed/internal/lint/determinism"
+)
+
+// Analyzer is the taint-based determinism checker.
+var Analyzer = &lint.Analyzer{
+	Name: "detflow",
+	Doc: "flag nondeterministic values that reach results, traces, or escaping stores\n\n" +
+		"Taint-tracks wall-clock reads, global math/rand, env reads, and map\n" +
+		"iteration order through each function's CFG; a finding fires only when\n" +
+		"the tainted value is returned, stored where it outlives the call, sent\n" +
+		"on a channel, or emitted to the trace. Waive with\n" +
+		"//rtseed:nondeterministic-ok <reason>.",
+	AppliesTo: determinism.InScope,
+	Run:       run,
+}
+
+// Taint kinds, used both for messages and for the map-order imprecisions.
+const (
+	kindWallClock = "wall-clock"
+	kindRand      = "globally-seeded random"
+	kindEnv       = "environment-dependent"
+	kindMapOrder  = "map-iteration-ordered"
+)
+
+const tracePkg = "rtseed/internal/trace"
+
+// clockSources are the time functions whose *results* depend on the host
+// clock. The blocking time functions (Sleep, NewTimer, ...) stay with the
+// syntactic determinism analyzer: blocking is a side effect, not a value.
+var clockSources = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// envSources read the process environment.
+var envSources = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+// taint records where a nondeterministic value came from.
+type taint struct {
+	kind string    // one of the kind* constants
+	what string    // source description, e.g. "time.Now"
+	pos  token.Pos // the source expression's position
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Pkg.Syntax {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			analyzeFunc(pass, decl, decl.Recv, decl.Type, decl.Body)
+			// Function literals have their own control flow; analyze each
+			// independently. Captured variables count as escaping roots but
+			// carry no taint in (intraprocedural).
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyzeFunc(pass, decl, nil, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checker evaluates expressions against a taint state, optionally reporting
+// findings (only the post-solve replay reports; solver passes run silent).
+type checker struct {
+	pass   *lint.Pass
+	decl   *ast.FuncDecl // enclosing declaration, for function-scope waivers
+	report bool
+	seen   map[token.Pos]bool
+
+	// paramObjs are reference-like parameters and receivers: a store through
+	// one escapes to the caller. resultObjs are named results: any store
+	// escapes. fnPos/fnEnd bound the function; objects declared outside it
+	// are captured or global, and stores through them escape too.
+	paramObjs  map[types.Object]bool
+	resultObjs map[types.Object]bool
+	fnPos      token.Pos
+	fnEnd      token.Pos
+}
+
+func analyzeFunc(pass *lint.Pass, decl *ast.FuncDecl, recv *ast.FieldList, fnType *ast.FuncType, body *ast.BlockStmt) {
+	ck := &checker{
+		pass:       pass,
+		decl:       decl,
+		paramObjs:  map[types.Object]bool{},
+		resultObjs: map[types.Object]bool{},
+		fnPos:      fnType.Pos(),
+		fnEnd:      body.End(),
+	}
+	info := pass.TypesInfo()
+	bind := func(fl *ast.FieldList, into map[types.Object]bool, refOnly bool) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if refOnly && !referenceLike(obj.Type()) {
+					continue
+				}
+				into[obj] = true
+			}
+		}
+	}
+	bind(recv, ck.paramObjs, true)
+	bind(fnType.Params, ck.paramObjs, true)
+	bind(fnType.Results, ck.resultObjs, false)
+
+	cfg := dataflow.BuildCFG(body)
+	prob := dataflow.Problem[dataflow.State[taint]]{
+		Entry: func() dataflow.State[taint] { return dataflow.State[taint]{} },
+		Copy:  func(s dataflow.State[taint]) dataflow.State[taint] { return s.Copy() },
+		Join: func(dst, src dataflow.State[taint]) bool {
+			return dst.Merge(src) // may-analysis: union, any witness wins
+		},
+		Node: func(n ast.Node, s dataflow.State[taint]) { ck.transfer(n, s) },
+	}
+	in := dataflow.Forward(cfg, prob)
+	reportCk := *ck
+	reportCk.report = true
+	reportCk.seen = map[token.Pos]bool{}
+	reportProb := prob
+	reportProb.Node = func(n ast.Node, s dataflow.State[taint]) { reportCk.transfer(n, s) }
+	for _, b := range cfg.Blocks {
+		state, ok := in[b]
+		if !ok {
+			continue
+		}
+		dataflow.Replay(b, state, reportProb, func(ast.Node, dataflow.State[taint]) {})
+	}
+}
+
+// referenceLike reports whether a store through a value of this type is
+// visible to the caller: pointers, maps, slices, channels, interfaces.
+func referenceLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func (c *checker) info() *types.Info { return c.pass.TypesInfo() }
+
+// transfer applies one node's effect to the state, checking sinks along the
+// way when report is set.
+func (c *checker) transfer(n ast.Node, s dataflow.State[taint]) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			// x op= y folds values; map-order taint does not survive the
+			// arithmetic (see the package doc), other kinds do.
+			syn := &ast.BinaryExpr{X: n.Lhs[0], OpPos: n.TokPos, Op: token.ADD, Y: n.Rhs[0]}
+			c.assign(n.Lhs[0], syn, s)
+			return
+		}
+		dataflow.ForEachAssign(n, func(lhs, rhs ast.Expr) { c.assign(lhs, rhs, s) })
+	case *ast.DeclStmt:
+		dataflow.ForEachAssign(n, func(lhs, rhs ast.Expr) { c.assign(lhs, rhs, s) })
+	case *ast.RangeStmt:
+		c.rangeStmt(n, s)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if t, ok := c.eval(r, s); ok {
+				c.flag(r.Pos(), t, "is returned to the caller")
+			}
+		}
+	case *ast.SendStmt:
+		c.eval(n.Chan, s)
+		if t, ok := c.eval(n.Value, s); ok {
+			c.flag(n.Value.Pos(), t, "is sent on a channel")
+		}
+	case *ast.ExprStmt:
+		c.stmtCall(n.X, s)
+	case *ast.GoStmt:
+		c.stmtCall(n.Call, s)
+	case *ast.DeferStmt:
+		c.stmtCall(n.Call, s)
+	case *ast.IncDecStmt:
+		// x++ keeps x's taint.
+	case ast.Expr:
+		// Control expressions attached by the CFG builder (conditions,
+		// switch tags): sources evaluated here stay local unless assigned.
+		c.eval(n, s)
+	}
+}
+
+// rangeStmt handles `for k, v := range x`: a map range taints its iteration
+// variables with map order; ranging over an already-tainted container
+// propagates that taint instead.
+func (c *checker) rangeStmt(n *ast.RangeStmt, s dataflow.State[taint]) {
+	info := c.info()
+	var t taint
+	tainted := false
+	if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			t = taint{kind: kindMapOrder, what: "iteration over " + exprString(n.X), pos: n.Pos()}
+			tainted = true
+		}
+	}
+	if !tainted {
+		t, tainted = c.eval(n.X, s)
+	}
+	for _, v := range []ast.Expr{n.Key, n.Value} {
+		if v == nil {
+			continue
+		}
+		if tainted {
+			s.Set(info, v, t)
+		} else {
+			s.Clear(info, v)
+		}
+	}
+}
+
+// assign applies one lhs = rhs binding: escaping stores are sinks, keyable
+// locations carry taint forward.
+func (c *checker) assign(lhs, rhs ast.Expr, s dataflow.State[taint]) {
+	info := c.info()
+	if rhs == nil {
+		s.Clear(info, lhs)
+		return
+	}
+	t, tainted := c.eval(rhs, s)
+	if tainted && c.escapes(lhs) {
+		c.flag(lhs.Pos(), t, "is stored in "+exprString(lhs)+", which outlives this call")
+	}
+	if _, keyable := dataflow.KeyOf(info, rhs); keyable {
+		s.Assign(info, lhs, rhs)
+		return
+	}
+	if tainted {
+		s.Set(info, lhs, t)
+	} else {
+		s.Clear(info, lhs)
+	}
+}
+
+// escapes reports whether a store to lhs is visible outside this function
+// call: package variables, named results, and fields or elements reached
+// through reference-like parameters or captured variables.
+func (c *checker) escapes(lhs ast.Expr) bool {
+	obj := rootObj(c.info(), lhs)
+	if obj == nil {
+		return false
+	}
+	if obj.Parent() == c.pass.Pkg.Types.Scope() {
+		return true // package-level variable
+	}
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+		return c.resultObjs[obj] // a plain local copy stays local
+	}
+	if c.paramObjs[obj] || c.resultObjs[obj] {
+		return true // store through a reference-like parameter
+	}
+	// Captured from an enclosing function (or otherwise non-local).
+	return obj.Pos() < c.fnPos || obj.Pos() > c.fnEnd
+}
+
+// rootObj walks selector/index/star/slice chains to the base identifier's
+// object, or nil when the base is not a named variable.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return rootObj(info, e.X)
+	case *ast.StarExpr:
+		return rootObj(info, e.X)
+	case *ast.UnaryExpr:
+		return rootObj(info, e.X)
+	case *ast.SelectorExpr:
+		return rootObj(info, e.X)
+	case *ast.IndexExpr:
+		return rootObj(info, e.X)
+	case *ast.SliceExpr:
+		return rootObj(info, e.X)
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if _, ok := obj.(*types.Var); !ok {
+			return nil
+		}
+		return obj
+	}
+	return nil
+}
+
+// stmtCall handles a statement-position call: sort/slices calls sanitize
+// map-order taint, everything else evaluates normally (trace sinks fire
+// inside eval).
+func (c *checker) stmtCall(x ast.Expr, s dataflow.State[taint]) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		c.eval(x, s)
+		return
+	}
+	if fn := c.pass.CalleeFunc(call); fn != nil && fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+			for _, arg := range call.Args {
+				clearMapOrder(c.info(), s, arg)
+			}
+			return
+		}
+	}
+	c.eval(call, s)
+}
+
+// clearMapOrder removes map-order taint from every key rooted at arg's
+// object: sorting re-establishes a deterministic order.
+func clearMapOrder(info *types.Info, s dataflow.State[taint], arg ast.Expr) {
+	k, ok := dataflow.KeyOf(info, arg)
+	if !ok {
+		return
+	}
+	for key, t := range s {
+		if key.Obj == k.Obj && t.kind == kindMapOrder {
+			delete(s, key)
+		}
+	}
+}
+
+// eval computes the taint of an expression, firing trace-emission sinks on
+// any call it walks through.
+func (c *checker) eval(e ast.Expr, s dataflow.State[taint]) (taint, bool) {
+	if e == nil {
+		return taint{}, false
+	}
+	info := c.info()
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.eval(e.X, s)
+
+	case *ast.Ident:
+		return s.Get(info, e)
+
+	case *ast.SelectorExpr:
+		if t, ok := s.Get(info, e); ok {
+			return t, true
+		}
+		return c.eval(e.X, s)
+
+	case *ast.CallExpr:
+		return c.call(e, s)
+
+	case *ast.BinaryExpr:
+		// Map-order taint does not survive arithmetic or comparison:
+		// order-insensitive reductions (sums, min/max, counts) are the
+		// common benign pattern. Other kinds propagate.
+		if t, ok := c.eval(e.X, s); ok && t.kind != kindMapOrder {
+			c.eval(e.Y, s)
+			return t, true
+		}
+		if t, ok := c.eval(e.Y, s); ok && t.kind != kindMapOrder {
+			return t, true
+		}
+		return taint{}, false
+
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return taint{}, false // channel receive: contents unknown
+		}
+		return c.eval(e.X, s)
+
+	case *ast.StarExpr:
+		return c.eval(e.X, s)
+
+	case *ast.IndexExpr:
+		c.eval(e.Index, s)
+		return c.eval(e.X, s)
+
+	case *ast.SliceExpr:
+		return c.eval(e.X, s)
+
+	case *ast.CompositeLit:
+		var found taint
+		ok := false
+		for _, el := range e.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				el = kv.Value
+			}
+			if t, tainted := c.eval(el, s); tainted && !ok {
+				found, ok = t, true
+			}
+		}
+		return found, ok
+
+	case *ast.KeyValueExpr:
+		return c.eval(e.Value, s)
+
+	case *ast.TypeAssertExpr:
+		return c.eval(e.X, s)
+
+	case *ast.FuncLit:
+		return taint{}, false // analyzed separately
+	}
+	return taint{}, false
+}
+
+// call evaluates a call expression: source recognition, the trace-emission
+// sink, and conservative propagation (any tainted argument or receiver
+// taints the result).
+func (c *checker) call(e *ast.CallExpr, s dataflow.State[taint]) (taint, bool) {
+	fn := c.pass.CalleeFunc(e)
+	if fn != nil && fn.Pkg() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case path == "time" && clockSources[name]:
+				for _, a := range e.Args {
+					c.eval(a, s)
+				}
+				return taint{kind: kindWallClock, what: "time." + name, pos: e.Pos()}, true
+			case (path == "math/rand" || path == "math/rand/v2") && !strings.HasPrefix(name, "New"):
+				for _, a := range e.Args {
+					c.eval(a, s)
+				}
+				return taint{kind: kindRand, what: path + "." + name, pos: e.Pos()}, true
+			case path == "os" && envSources[name]:
+				return taint{kind: kindEnv, what: "os." + name, pos: e.Pos()}, true
+			}
+		}
+		if fn.Pkg().Path() == tracePkg {
+			for _, arg := range e.Args {
+				if t, ok := c.eval(arg, s); ok {
+					c.flag(arg.Pos(), t, "is emitted to the trace via "+fn.Name())
+				}
+			}
+		}
+	}
+
+	// Conservative propagation: the receiver or any argument being tainted
+	// taints the result (method calls on tainted values, append, helpers).
+	var found taint
+	ok := false
+	if se, isSel := ast.Unparen(e.Fun).(*ast.SelectorExpr); isSel {
+		if t, tainted := c.eval(se.X, s); tainted {
+			found, ok = t, true
+		}
+	}
+	for _, arg := range e.Args {
+		if t, tainted := c.eval(arg, s); tainted && !ok {
+			found, ok = t, true
+		}
+	}
+	return found, ok
+}
+
+func (c *checker) flag(pos token.Pos, t taint, how string) {
+	if !c.report || c.seen[pos] {
+		return
+	}
+	c.seen[pos] = true
+	if c.pass.WaivedIn(c.decl, pos, lint.DirNondeterministic) {
+		return
+	}
+	line := c.pass.Pkg.Fset.Position(t.pos).Line
+	c.pass.Reportf(pos, "%s value from %s (line %d) %s; a run is no longer a pure function of its seed (//rtseed:nondeterministic-ok <reason> to waive)",
+		t.kind, t.what, line, how)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "an escaping location"
+}

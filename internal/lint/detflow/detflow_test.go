@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "../testdata/src/detflow")
+}

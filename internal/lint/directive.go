@@ -40,6 +40,13 @@ import (
 //   - //rtseed:partial-ok <reason> waives an exhaustive finding on a switch
 //     statement that deliberately handles a subset of an enum's values. The
 //     reason is mandatory.
+//   - //rtseed:units-ok <reason> waives a timeunits finding — a mixed-unit
+//     arithmetic expression, comparison, or conversion between the tick and
+//     nanosecond domains outside the declared helpers. The reason is
+//     mandatory.
+//   - //rtseed:bodystep-ok <reason> waives a bodystep finding — a
+//     continuation-protocol violation in or reachable from a kernel.Body
+//     Step method. The reason is mandatory.
 const (
 	DirNoalloc          = "noalloc"
 	DirNondeterministic = "nondeterministic-ok"
@@ -48,6 +55,8 @@ const (
 	DirKernelCtx        = "kernelctx"
 	DirKernelCtxEntry   = "kernelctx-entry"
 	DirPartialOK        = "partial-ok"
+	DirUnitsOK          = "units-ok"
+	DirBodyStepOK       = "bodystep-ok"
 )
 
 // reasonRequired records which directives must carry a justification.
@@ -59,13 +68,15 @@ var reasonRequired = map[string]bool{
 	DirKernelCtx:        false,
 	DirKernelCtxEntry:   true,
 	DirPartialOK:        true,
+	DirUnitsOK:          true,
+	DirBodyStepOK:       true,
 }
 
 // KnownDirectives lists every directive name the grammar accepts, in
 // documentation order.
 var KnownDirectives = []string{
 	DirNoalloc, DirNondeterministic, DirAllocOK, DirHandleOK,
-	DirKernelCtx, DirKernelCtxEntry, DirPartialOK,
+	DirKernelCtx, DirKernelCtxEntry, DirPartialOK, DirUnitsOK, DirBodyStepOK,
 }
 
 // A Directive is one parsed //rtseed: comment.

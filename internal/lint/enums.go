@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// An EnumMember is one declared enum constant.
+type EnumMember struct {
+	Name  string
+	Value string // exact constant representation, the dedup/coverage key
+}
+
+// EnumMembers discovers the declared members of a module enum type, shared
+// by the exhaustive and timeunits analyzers.
+//
+// An enum, by this definition, is a named type declared in this module
+// whose underlying type is an integer and that has at least two
+// package-scope constants — the iota-block idiom. Members are deduplicated
+// by constant value, so aliases (two names for one value) count as one
+// member. Sentinel members whose name ends in "max", "count", or "limit"
+// (any case) bound the enum rather than belong to it and are excluded.
+// When from is non-nil and the enum is declared in a different package,
+// unexported members are excluded too (they are unreachable from from).
+//
+// The first result names the enum ("kernel.State") and is "" when typ is
+// not an enum; the member list may be empty even for an enum when every
+// member is filtered out.
+func EnumMembers(from *types.Package, typ types.Type) (string, []EnumMember) {
+	named, ok := types.Unalias(typ).(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", nil
+	}
+	declPkg := obj.Pkg()
+	if !strings.HasPrefix(declPkg.Path(), "rtseed/") {
+		return "", nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return "", nil
+	}
+	foreign := from != nil && declPkg != from
+
+	var members []EnumMember
+	total := 0
+	seen := map[string]bool{}
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		total++
+		if isEnumSentinel(name) {
+			continue
+		}
+		if foreign && !c.Exported() {
+			continue
+		}
+		v := c.Val().ExactString()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		members = append(members, EnumMember{Name: name, Value: v})
+	}
+	if total < 2 {
+		return "", nil
+	}
+	return declPkg.Name() + "." + obj.Name(), members
+}
+
+// isEnumSentinel reports whether an enum member name bounds the enum
+// (kindMax, stateCount, ...) rather than belongs to it.
+func isEnumSentinel(name string) bool {
+	lower := strings.ToLower(name)
+	for _, suffix := range []string{"max", "count", "limit"} {
+		if strings.HasSuffix(lower, suffix) {
+			return true
+		}
+	}
+	return false
+}

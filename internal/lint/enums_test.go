@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkPkg typechecks import-free source under the given import path.
+func checkPkg(t *testing.T, path, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg
+}
+
+func TestEnumMembers(t *testing.T) {
+	const src = `package p
+
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindAlias = KindA
+	kindMax
+)
+
+type Lonely int
+
+const OnlyOne Lonely = 0
+
+type NotInt string
+
+const SA NotInt = "a"
+const SB NotInt = "b"
+
+type Mixed int
+
+const (
+	MixedA Mixed = iota
+	mixedB
+	mixedCount
+)
+`
+	pkg := checkPkg(t, "rtseed/internal/fake", src)
+	foreign := checkPkg(t, "rtseed/internal/other", "package other")
+	nonModule := checkPkg(t, "example.com/x", `package x
+type E int
+const (
+	EA E = iota
+	EB
+)`)
+
+	lookup := func(p *types.Package, name string) types.Type {
+		obj := p.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("no type %s", name)
+		}
+		return obj.Type()
+	}
+
+	cases := []struct {
+		name     string
+		from     *types.Package
+		typ      types.Type
+		wantName string
+		want     []string // member names
+	}{
+		{
+			name:     "iota block with alias and sentinel",
+			from:     pkg,
+			typ:      lookup(pkg, "Kind"),
+			wantName: "p.Kind",
+			want:     []string{"KindA", "KindB"}, // alias deduped, kindMax excluded
+		},
+		{
+			name: "single constant is not an enum",
+			from: pkg,
+			typ:  lookup(pkg, "Lonely"),
+		},
+		{
+			name: "string-typed constants are not an enum",
+			from: pkg,
+			typ:  lookup(pkg, "NotInt"),
+		},
+		{
+			name:     "foreign viewer drops unexported members",
+			from:     foreign,
+			typ:      lookup(pkg, "Mixed"),
+			wantName: "p.Mixed",
+			want:     []string{"MixedA"},
+		},
+		{
+			name:     "nil viewer keeps unexported members",
+			from:     nil,
+			typ:      lookup(pkg, "Mixed"),
+			wantName: "p.Mixed",
+			want:     []string{"MixedA", "mixedB"},
+		},
+		{
+			name: "non-module enum ignored",
+			from: pkg,
+			typ:  lookup(nonModule, "E"),
+		},
+		{
+			name: "basic type is not an enum",
+			from: pkg,
+			typ:  types.Typ[types.Int],
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gotName, got := EnumMembers(tc.from, tc.typ)
+			if gotName != tc.wantName {
+				t.Errorf("name = %q, want %q", gotName, tc.wantName)
+			}
+			var names []string
+			for _, m := range got {
+				names = append(names, m.Name)
+			}
+			if len(names) != len(tc.want) {
+				t.Fatalf("members = %v, want %v", names, tc.want)
+			}
+			for i := range names {
+				if names[i] != tc.want[i] {
+					t.Fatalf("members = %v, want %v", names, tc.want)
+				}
+			}
+		})
+	}
+}

@@ -24,7 +24,6 @@ package exhaustive
 
 import (
 	"go/ast"
-	"go/types"
 	"sort"
 	"strings"
 
@@ -41,75 +40,6 @@ var Analyzer = &lint.Analyzer{
 	Run: run,
 }
 
-// member is one declared enum constant.
-type member struct {
-	name  string
-	value string // exact constant representation, the dedup/coverage key
-}
-
-// enumMembers returns the required members of an enum type declared in pkg
-// or one of its dependencies, or nil if typ is not an enum by this
-// analyzer's definition.
-func enumMembers(pkg *lint.Package, typ types.Type) (string, []member) {
-	named, ok := types.Unalias(typ).(*types.Named)
-	if !ok {
-		return "", nil
-	}
-	obj := named.Obj()
-	if obj == nil || obj.Pkg() == nil {
-		return "", nil
-	}
-	declPkg := obj.Pkg()
-	if !strings.HasPrefix(declPkg.Path(), "rtseed/") {
-		return "", nil
-	}
-	basic, ok := named.Underlying().(*types.Basic)
-	if !ok || basic.Info()&types.IsInteger == 0 {
-		return "", nil
-	}
-	foreign := declPkg != pkg.Types
-
-	var members []member
-	total := 0
-	seen := map[string]bool{}
-	scope := declPkg.Scope()
-	for _, name := range scope.Names() {
-		c, ok := scope.Lookup(name).(*types.Const)
-		if !ok || !types.Identical(c.Type(), named) {
-			continue
-		}
-		total++
-		if isSentinel(name) {
-			continue
-		}
-		if foreign && !c.Exported() {
-			continue
-		}
-		v := c.Val().ExactString()
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		members = append(members, member{name: name, value: v})
-	}
-	if total < 2 {
-		return "", nil
-	}
-	return declPkg.Name() + "." + obj.Name(), members
-}
-
-// isSentinel reports whether an enum member name bounds the enum (kindMax,
-// stateCount, ...) rather than belongs to it.
-func isSentinel(name string) bool {
-	lower := strings.ToLower(name)
-	for _, suffix := range []string{"max", "count", "limit"} {
-		if strings.HasSuffix(lower, suffix) {
-			return true
-		}
-	}
-	return false
-}
-
 func run(pass *lint.Pass) error {
 	pass.InspectFuncs(func(file *ast.File, decl *ast.FuncDecl, n ast.Node) bool {
 		sw, ok := n.(*ast.SwitchStmt)
@@ -120,8 +50,8 @@ func run(pass *lint.Pass) error {
 		if !ok || tv.Type == nil {
 			return true
 		}
-		enumName, members := enumMembers(pass.Pkg, tv.Type)
-		if members == nil {
+		enumName, members := lint.EnumMembers(pass.Pkg.Types, tv.Type)
+		if enumName == "" || members == nil {
 			return true
 		}
 
@@ -142,9 +72,9 @@ func run(pass *lint.Pass) error {
 			}
 		}
 
-		var missing []member
+		var missing []lint.EnumMember
 		for _, m := range members {
-			if !covered[m.value] {
+			if !covered[m.Value] {
 				missing = append(missing, m)
 			}
 		}
@@ -154,10 +84,10 @@ func run(pass *lint.Pass) error {
 		if pass.Waived(sw.Pos(), lint.DirPartialOK) {
 			return true
 		}
-		sort.Slice(missing, func(i, j int) bool { return missing[i].name < missing[j].name })
+		sort.Slice(missing, func(i, j int) bool { return missing[i].Name < missing[j].Name })
 		names := make([]string, len(missing))
 		for i, m := range missing {
-			names[i] = m.name
+			names[i] = m.Name
 		}
 		pass.Reportf(sw.Pos(), "switch over %s misses %s (cover them or add //rtseed:partial-ok <reason>)",
 			enumName, strings.Join(names, ", "))

@@ -215,6 +215,12 @@ type ModulePass struct {
 	Analyzer *Analyzer
 	Pkgs     []*Package
 	diags    *[]Diagnostic
+
+	// audit and used mirror Pass's audit mode; PackagePass propagates them,
+	// so module analyzers that report through per-package passes are
+	// auditable the same way single-package ones are.
+	audit bool
+	used  map[*Directive]bool
 }
 
 // Reportf records a finding at pos, resolved through pkg's file set.
@@ -247,7 +253,7 @@ func (mp *ModulePass) ReportfAt(position token.Position, format string, args ...
 // analyzer and diagnostic sink, for module analyzers that mix per-package
 // and whole-program checks.
 func (mp *ModulePass) PackagePass(pkg *Package) *Pass {
-	return &Pass{Analyzer: mp.Analyzer, Pkg: pkg, diags: mp.diags}
+	return &Pass{Analyzer: mp.Analyzer, Pkg: pkg, diags: mp.diags, audit: mp.audit, used: mp.used}
 }
 
 // RunAnalyzer applies a to pkg and returns its findings sorted by position.
@@ -287,6 +293,20 @@ func RunAnalyzerAudit(a *Analyzer, pkg *Package) ([]Diagnostic, map[*Directive]b
 	pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, audit: true, used: used}
 	if err := a.Run(pass); err != nil {
 		return nil, nil, fmt.Errorf("%s (audit) on %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	SortDiagnostics(diags)
+	return diags, used, nil
+}
+
+// RunModuleAnalyzerAudit applies a module analyzer to the whole loaded
+// package set with waivers disabled, returning the directives that would
+// have waived a finding — the module-level counterpart of RunAnalyzerAudit.
+func RunModuleAnalyzerAudit(a *Analyzer, pkgs []*Package) ([]Diagnostic, map[*Directive]bool, error) {
+	var diags []Diagnostic
+	used := map[*Directive]bool{}
+	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags, audit: true, used: used}
+	if err := a.RunModule(pass); err != nil {
+		return nil, nil, fmt.Errorf("%s (audit): %w", a.Name, err)
 	}
 	SortDiagnostics(diags)
 	return diags, used, nil

@@ -10,23 +10,52 @@ import (
 	"io"
 
 	"rtseed/internal/lint"
+	"rtseed/internal/lint/bodystep"
 	"rtseed/internal/lint/determinism"
+	"rtseed/internal/lint/detflow"
 	"rtseed/internal/lint/eventhandle"
 	"rtseed/internal/lint/exhaustive"
 	"rtseed/internal/lint/kernelctx"
 	"rtseed/internal/lint/noalloc"
+	"rtseed/internal/lint/timeunits"
 	"rtseed/internal/lint/waiverdrift"
 )
 
 // Analyzers is the vet suite, in reporting order: the per-package invariant
-// checkers first, then the whole-program call-graph analyzers.
+// checkers first (syntactic, then dataflow), then the whole-program
+// call-graph analyzers.
 var Analyzers = []*lint.Analyzer{
 	determinism.Analyzer,
+	detflow.Analyzer,
 	noalloc.Analyzer,
 	eventhandle.Analyzer,
 	exhaustive.Analyzer,
+	timeunits.Analyzer,
+	bodystep.Analyzer,
 	kernelctx.Analyzer,
 	waiverdrift.Analyzer,
+}
+
+// WaiverDirectives lists the waiver-class //rtseed: directives — the escape
+// hatches whose population Stats reports and lint-budget.json caps. The
+// contract annotations (noalloc, kernelctx) are deliberately absent: adding
+// one of those strengthens checking, it does not excuse a violation.
+var WaiverDirectives = []string{
+	lint.DirAllocOK,
+	lint.DirHandleOK,
+	lint.DirNondeterministic,
+	lint.DirPartialOK,
+	lint.DirUnitsOK,
+	lint.DirBodyStepOK,
+	lint.DirKernelCtxEntry,
+}
+
+// Stats is the waiver-directive census of a loaded tree: how many of each
+// waiver-class //rtseed: directive the source carries. Every name in
+// WaiverDirectives is present (zero-valued when absent) so the JSON shape is
+// stable across runs and budget files diff cleanly.
+type Stats struct {
+	Directives map[string]int `json:"directives"`
 }
 
 // Run loads the packages matching patterns (relative to dir) and applies the
@@ -34,12 +63,31 @@ var Analyzers = []*lint.Analyzer{
 // analyzers once over the full loaded set. Findings come back sorted by
 // position, with malformed-directive problems included.
 func Run(dir string, patterns []string) ([]lint.Diagnostic, error) {
+	diags, _, err := RunWithStats(dir, patterns)
+	return diags, err
+}
+
+// RunWithStats is Run plus the waiver-directive census of the loaded
+// packages, taken from the same load so the counts describe exactly the tree
+// the findings do.
+func RunWithStats(dir string, patterns []string) ([]lint.Diagnostic, Stats, error) {
+	stats := Stats{Directives: map[string]int{}}
+	for _, name := range WaiverDirectives {
+		stats.Directives[name] = 0
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := lint.Load(dir, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
+	}
+	for _, pkg := range pkgs {
+		for _, d := range pkg.Directives.All() {
+			if _, ok := stats.Directives[d.Name]; ok {
+				stats.Directives[d.Name]++
+			}
+		}
 	}
 	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
@@ -53,7 +101,7 @@ func Run(dir string, patterns []string) ([]lint.Diagnostic, error) {
 			}
 			found, err := lint.RunAnalyzer(a, pkg)
 			if err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 			diags = append(diags, found...)
 		}
@@ -64,12 +112,21 @@ func Run(dir string, patterns []string) ([]lint.Diagnostic, error) {
 		}
 		found, err := lint.RunModuleAnalyzer(a, pkgs)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 		diags = append(diags, found...)
 	}
 	lint.SortDiagnostics(diags)
-	return diags, nil
+	return diags, stats, nil
+}
+
+// PrintStats writes the census as indented JSON, the same shape the budget
+// file holds, so `rtseed-vet -stats ./... > lint-budget.json` regenerates the
+// budget by hand when needed.
+func PrintStats(w io.Writer, s Stats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(s)
 }
 
 // Print writes findings to w — one go-vet-style file:line:col line each, or

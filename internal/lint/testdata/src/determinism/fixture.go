@@ -1,19 +1,29 @@
-// Package determfix is the determinism analyzer's fixture: each flagged
-// line carries a want expectation; the clean and waived functions document
-// the accepted patterns.
+// Package determfix is the syntactic determinism analyzer's fixture: each
+// flagged line carries a want expectation; the clean and waived functions
+// document the accepted patterns. Value-flow cases (clock reads or map
+// order reaching results) live in the detflow fixture.
 package determfix
 
 import (
 	"math/rand"
 	"os"
-	"sort"
 	"time"
 )
 
-// Flagged pattern 1: wall-clock reads.
-func wallClock() time.Duration {
-	start := time.Now()      // want `time\.Now`
-	return time.Since(start) // want `time\.Since`
+// Flagged pattern 1: blocking on or arming host timers.
+func hostTimers(d time.Duration) {
+	time.Sleep(d)         // want `time\.Sleep`
+	t := time.NewTimer(d) // want `time\.NewTimer`
+	defer t.Stop()
+	<-time.After(d)        // want `time\.After`
+	k := time.NewTicker(d) // want `time\.NewTicker`
+	k.Stop()
+}
+
+// Clean: reading the clock is no longer a syntactic finding — whether the
+// value matters is the detflow analyzer's call.
+func readClock() time.Time {
+	return time.Now()
 }
 
 // Flagged pattern 2: the process-global math/rand source.
@@ -37,58 +47,14 @@ func envBranch() bool {
 	return ok
 }
 
-// Flagged pattern 4: map iteration feeding a result without a sort.
-func unsortedKeys(m map[string]int) []string {
-	var out []string
-	for k := range m { // want `map iteration`
-		out = append(out, k)
-	}
-	return out
-}
-
-// Clean: the same loop followed by a sort of the sink.
-func sortedKeys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Clean: order-insensitive aggregation into another map.
-func invert(m map[string]int) map[int]string {
-	out := make(map[int]string, len(m))
-	for k, v := range m {
-		out[v] = k
-	}
-	return out
-}
-
-// Flagged pattern 5: stamping a trace record with the wall clock. Trace
-// bytes must be byte-identical across runs, so records carry virtual time.
-func emitWallStamped(emit func(at int64, kind uint8)) {
-	emit(time.Now().UnixNano(), 1) // want `time\.Now`
-}
-
-// Clean: the trace-emit idiom — the virtual-time instant is an input, so
-// the record stream is a pure function of the simulation.
-func emitVirtualStamped(emit func(at int64, kind uint8), now int64) {
-	emit(now, 1)
-}
-
 // Accepted escape hatch: a line-scoped waiver with a reason.
-func waivedLine() time.Time {
-	return time.Now() //rtseed:nondeterministic-ok wall clock feeds a log line, not a result
+func waivedLine(d time.Duration) {
+	time.Sleep(d) //rtseed:nondeterministic-ok fixture: pacing a host-facing demo loop
 }
 
 // Accepted escape hatch: a function-scoped waiver in the doc comment.
 //
-//rtseed:nondeterministic-ok measures real wake-up latency by design
-func waivedFunc(release time.Time) time.Duration {
-	lag := time.Since(release)
-	if lag < 0 {
-		lag = 0
-	}
-	return lag
+//rtseed:nondeterministic-ok fixture: arms a real timer by design
+func waivedFunc(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
 }

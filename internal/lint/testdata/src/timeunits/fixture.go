@@ -1,0 +1,160 @@
+// Package timeunits exercises the timeunits analyzer: dimensional analysis
+// over {abs-ns, rel-ns, tick, raw} with dataflow through raw locals.
+package timeunits
+
+import (
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+// Time mirrors engine.Time: an absolute instant in nanoseconds.
+type Time int64
+
+// tick mirrors the engine's wheel tick.
+type tick uint64
+
+const tickShift = 12
+
+// tickOf is a declared conversion helper: its body is exempt and its
+// signature classifies its call sites.
+func tickOf(t Time) tick { return tick(uint64(t) >> tickShift) }
+
+// start is the inverse helper.
+func (tk tick) start() Time { return Time(int64(tk) << tickShift) }
+
+// at is the sanctioned rel→abs crossing.
+func at(d time.Duration) Time { return Time(d) }
+
+// add is the sanctioned instant+duration helper: receiver plus one
+// parameter is helper-shaped, mirroring engine.Time.Add.
+func (t Time) add(d time.Duration) Time { return t + Time(d) }
+
+func take(t Time) {}
+
+func takeDur(d time.Duration) {}
+
+// --- flagged patterns ---
+
+func addAbsAbs(a, b Time) Time {
+	return a + b // want `adding two absolute times`
+}
+
+func addEngineAbsAbs(a, b engine.Time) engine.Time {
+	return a + b // want `adding two absolute times`
+}
+
+func tickAddedToEngineTime(et engine.Time, tk tick) engine.Time {
+	return et + engine.Time(tk) // want `conversion reinterprets tick as abs-ns`
+}
+
+// crossConvert is not helper-shaped (no unit result), so the conversion in
+// its body is checked.
+func crossConvert(t Time) {
+	tk := tick(t) // want `conversion reinterprets abs-ns as tick`
+	_ = tk
+}
+
+func launderedConvert(t Time) {
+	u := uint64(t) // the raw local carries abs-ns through the dataflow
+	tk := tick(u)  // want `conversion reinterprets abs-ns as tick`
+	_ = tk
+}
+
+func compoundAbsAbs(a, b Time) Time {
+	a += b // want `adding two absolute times`
+	return a
+}
+
+func mixTickNs(t Time, tk tick) uint64 {
+	return uint64(t) - uint64(tk) // want `subtraction mixes tick and nanosecond units`
+}
+
+func compareTickNs(t Time, tk tick) bool {
+	return uint64(t) < uint64(tk) // want `comparison mixes tick and nanosecond units`
+}
+
+func compareAbsRel(t Time, d time.Duration) bool {
+	return int64(t) < int64(d) // want `comparing across units`
+}
+
+func relAsAbs(t Time) {
+	takeDur(time.Duration(t)) // want `conversion reinterprets abs-ns as rel-ns`
+}
+
+func shiftWithoutConvert(t Time) {
+	take(t >> tickShift) // want `passing a tick value where take expects abs-ns`
+}
+
+// --- accepted patterns ---
+
+func helpersCompose(a Time, d time.Duration) Time {
+	b := a.add(d)
+	_ = a.sub(b)
+	return at(d)
+}
+
+// sub is another helper (abs,abs)→rel is not expressible with one param, so
+// it pairs with the subtraction rule below.
+func (t Time) sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func tickDomainMath(a, b Time) uint64 {
+	// All in the tick domain: differences, slot masks, non-tickShift
+	// shifts stay legal.
+	da := tickOf(a)
+	db := tickOf(b)
+	delta := da - db
+	slot := (delta >> 3) & 63
+	return uint64(slot)
+}
+
+func shiftIdiom(t Time) tick {
+	u := uint64(t) >> tickShift // the tickShift shift IS the conversion
+	return tick(u)
+}
+
+func roundTrip(tk tick) Time {
+	return tk.start()
+}
+
+func relArithmetic(d1, d2 time.Duration) time.Duration {
+	d1 += d2       // compound rel+rel is fine too
+	return d1 + d2 // rel+rel is fine
+}
+
+func scaling(d time.Duration, n int) time.Duration {
+	return d * time.Duration(n) // scaling escapes the algebra
+}
+
+func joinedClassesDegrade(t Time, tk tick, b bool) uint64 {
+	var u uint64
+	if b {
+		u = uint64(t)
+	} else {
+		u = uint64(tk)
+	}
+	return u // conflicting classes at the join degrade to raw: no finding
+}
+
+// phaseTick is an enum despite its Tick suffix: iota membership excludes it
+// from unit classification.
+type phaseTick int
+
+const (
+	phaseA phaseTick = iota
+	phaseB
+)
+
+func enumNotAUnit(p phaseTick, d time.Duration) bool {
+	return int64(p) < int64(d)
+}
+
+func waivedLine(a, b Time) Time {
+	//rtseed:units-ok fixture: documents the line-scope waiver
+	return a + b
+}
+
+//rtseed:units-ok fixture: documents the function-scope waiver
+func waivedFunc(a, b Time) Time {
+	return a + b
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rtseed/internal/engine"
+	"rtseed/internal/kernel"
 )
 
 type phase int
@@ -28,10 +29,26 @@ func liveAlloc(n int) []int {
 	return buf
 }
 
-// liveNondet's waiver still shields a real wall-clock read.
+// liveNondet's waiver still shields a real finding — the wall-clock value
+// reaches the return, so the detflow tier keeps it live.
 func liveNondet() int64 {
 	//rtseed:nondeterministic-ok fixture keeps this wall-clock read
 	return time.Now().UnixNano()
+}
+
+// liveUnits's waiver still shields a real abs+abs addition.
+//
+//rtseed:units-ok fixture keeps this deliberate unit mix
+func liveUnits(a, b engine.Time) engine.Time {
+	return a + b
+}
+
+// liveRetainer's waiver still shields a real TCB retention.
+type liveRetainer struct{ c *kernel.TCB }
+
+func (b *liveRetainer) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	b.c = c //rtseed:bodystep-ok fixture keeps this deliberate retention
+	return kernel.Done()
 }
 
 // livePartial's switch is still deliberately partial.
@@ -74,8 +91,20 @@ func staleAlloc(buf []int) int {
 
 // staleNondet: nothing below touches the clock any more.
 func staleNondet() int {
-	//rtseed:nondeterministic-ok formerly read time.Now here // want `stale //rtseed:nondeterministic-ok: the determinism finding it waives no longer exists`
+	//rtseed:nondeterministic-ok formerly read time.Now here // want `stale //rtseed:nondeterministic-ok: the determinism/detflow finding it waives no longer exists`
 	return 42
+}
+
+// staleUnits: the arithmetic became a sanctioned helper call.
+func staleUnits(a engine.Time, d time.Duration) engine.Time {
+	//rtseed:units-ok formerly mixed units here // want `stale //rtseed:units-ok: the timeunits finding it waives no longer exists`
+	return a.Add(d)
+}
+
+// staleBodyStep: the body became protocol-clean but kept its waiver.
+func staleBodyStep(c *kernel.TCB, r kernel.Resume) kernel.Next {
+	//rtseed:bodystep-ok formerly stored the TCB here // want `stale //rtseed:bodystep-ok: the bodystep finding it waives no longer exists`
+	return kernel.Done()
 }
 
 // stalePartial: the switch became complete but kept its waiver.

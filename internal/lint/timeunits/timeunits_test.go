@@ -1,0 +1,12 @@
+package timeunits_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/timeunits"
+)
+
+func TestTimeUnits(t *testing.T) {
+	analysistest.Run(t, timeunits.Analyzer, "../testdata/src/timeunits")
+}

@@ -12,7 +12,9 @@
 //   - Every waiver-consuming analyzer is re-run in audit mode, where
 //     Pass.Waived reports the finding anyway but records the directive that
 //     would have suppressed it. A waiver directive no audit finding touched
-//     is stale and flagged at its own position.
+//     is stale and flagged at its own position. nondeterministic-ok is
+//     consumed by two tiers (syntactic determinism and taint-based
+//     detflow): a live finding from either keeps the waiver.
 //   - Placement is audited too: //rtseed:noalloc must sit on a function
 //     declaration, //rtseed:kernelctx on a declaration or function literal,
 //     //rtseed:kernelctx-entry on a declaration — anywhere else the
@@ -36,11 +38,14 @@ import (
 	"strings"
 
 	"rtseed/internal/lint"
+	"rtseed/internal/lint/bodystep"
 	"rtseed/internal/lint/callgraph"
 	"rtseed/internal/lint/determinism"
+	"rtseed/internal/lint/detflow"
 	"rtseed/internal/lint/eventhandle"
 	"rtseed/internal/lint/exhaustive"
 	"rtseed/internal/lint/noalloc"
+	"rtseed/internal/lint/timeunits"
 )
 
 // Analyzer is the waiver-audit checker.
@@ -48,15 +53,17 @@ var Analyzer = &lint.Analyzer{
 	Name: "waiverdrift",
 	Doc: "flag stale and misplaced //rtseed: directives\n\n" +
 		"Re-runs the waiver-consuming analyzers with waivers disabled and flags\n" +
-		"every //rtseed:alloc-ok, handle-ok, nondeterministic-ok, and partial-ok\n" +
-		"that no longer shields a live finding, plus directives attached to the\n" +
-		"wrong kind of code and kernelctx-entry blessings that no longer reach\n" +
-		"kernel context.",
+		"every //rtseed:alloc-ok, handle-ok, nondeterministic-ok, partial-ok,\n" +
+		"units-ok, and bodystep-ok that no longer shields a live finding, plus\n" +
+		"directives attached to the wrong kind of code and kernelctx-entry\n" +
+		"blessings that no longer reach kernel context.",
 	RunModule: run,
 }
 
-// audited maps each waiver directive to the analyzer whose findings it
-// waives.
+// audited maps each waiver directive to the analyzers whose findings it
+// waives. nondeterministic-ok is consumed by two tiers — the syntactic
+// determinism analyzer and the taint-based detflow analyzer — so a waiver
+// is live if either still finds a violation under it.
 var audited = []struct {
 	dir      string
 	analyzer *lint.Analyzer
@@ -64,7 +71,18 @@ var audited = []struct {
 	{lint.DirAllocOK, noalloc.Analyzer},
 	{lint.DirHandleOK, eventhandle.Analyzer},
 	{lint.DirNondeterministic, determinism.Analyzer},
+	{lint.DirNondeterministic, detflow.Analyzer},
 	{lint.DirPartialOK, exhaustive.Analyzer},
+	{lint.DirUnitsOK, timeunits.Analyzer},
+}
+
+// auditedModule maps waiver directives consumed by module-level analyzers,
+// which are audited once over the whole loaded set rather than per package.
+var auditedModule = []struct {
+	dir      string
+	analyzer *lint.Analyzer
+}{
+	{lint.DirBodyStepOK, bodystep.Analyzer},
 }
 
 // inAuditScope reports whether an analyzer's audit pass runs on importPath.
@@ -76,6 +94,17 @@ func inAuditScope(a *lint.Analyzer, importPath string) bool {
 
 func run(mp *lint.ModulePass) error {
 	g := callgraph.Build(mp.Pkgs)
+
+	moduleUsed := map[*lint.Directive]bool{}
+	for _, a := range auditedModule {
+		_, u, err := lint.RunModuleAnalyzerAudit(a.analyzer, mp.Pkgs)
+		if err != nil {
+			return err
+		}
+		for d := range u {
+			moduleUsed[d] = true
+		}
+	}
 
 	for _, pkg := range mp.Pkgs {
 		used := map[*lint.Directive]bool{}
@@ -98,7 +127,7 @@ func run(mp *lint.ModulePass) error {
 
 		for _, d := range pkg.Directives.All() {
 			switch d.Name {
-			case lint.DirAllocOK, lint.DirHandleOK, lint.DirNondeterministic, lint.DirPartialOK:
+			case lint.DirAllocOK, lint.DirHandleOK, lint.DirNondeterministic, lint.DirPartialOK, lint.DirUnitsOK:
 				if used[d] {
 					continue
 				}
@@ -109,6 +138,10 @@ func run(mp *lint.ModulePass) error {
 				}
 				mp.ReportfAt(d.Pos, "stale //rtseed:%s: the %s finding it waives no longer exists (remove the waiver)",
 					d.Name, analyzerFor(d.Name))
+			case lint.DirBodyStepOK:
+				if !moduleUsed[d] {
+					mp.ReportfAt(d.Pos, "stale //rtseed:bodystep-ok: the bodystep finding it waives no longer exists (remove the waiver)")
+				}
 			case lint.DirNoalloc:
 				if placement.onDecl[d] == nil {
 					mp.ReportfAt(d.Pos, "misplaced //rtseed:noalloc: not attached to a function declaration")
@@ -133,14 +166,19 @@ func run(mp *lint.ModulePass) error {
 	return nil
 }
 
-// analyzerFor names the analyzer whose findings a waiver directive waives.
+// analyzerFor names the analyzers whose findings a waiver directive waives,
+// slash-joined when the directive serves more than one.
 func analyzerFor(dir string) string {
+	var names []string
 	for _, a := range audited {
 		if a.dir == dir {
-			return a.analyzer.Name
+			names = append(names, a.analyzer.Name)
 		}
 	}
-	return "?"
+	if len(names) == 0 {
+		return "?"
+	}
+	return strings.Join(names, "/")
 }
 
 // placement records which declaration or literal each annotation-style
