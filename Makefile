@@ -10,9 +10,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci vet lint lint-stats vuln build test test-race bench-smoke bench bench-json trace-smoke fuzz-smoke tools clean
+.PHONY: ci vet lint lint-stats vuln build test test-race bench-smoke bench bench-json bench-trajectory trace-smoke cluster-smoke fuzz-smoke tools clean
 
-ci: vet lint build test test-race bench-smoke trace-smoke fuzz-smoke vuln
+ci: vet lint build test test-race bench-smoke trace-smoke cluster-smoke fuzz-smoke vuln
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,17 @@ trace-smoke:
 	$(GO) run ./cmd/rtseed-repro -quick -o /dev/null -trace results/trace-smoke.rtt
 	$(GO) run ./cmd/rtseed-trace -check -misses results/trace-smoke.rtt
 
+# cluster-smoke is the executable form of the cluster layer's determinism
+# contract: run the same quick fleet at one worker and at eight and fail on
+# any byte of difference between the reports. The artifacts land under
+# results/cluster-smoke-* (gitignored).
+cluster-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/rtseed-cluster -quick -workers 1 -o results/cluster-smoke-w1.txt
+	$(GO) run ./cmd/rtseed-cluster -quick -workers 8 -o results/cluster-smoke-w8.txt
+	diff results/cluster-smoke-w1.txt results/cluster-smoke-w8.txt
+	@echo "cluster-smoke: reports byte-identical across worker counts"
+
 # fuzz-smoke runs each fuzz target for a short, bounded burst: long enough to
 # trip a regression in the engine-vs-oracle equivalence or the trace codec
 # round-trip, short enough for every CI run. `go test -fuzz` accepts a single
@@ -91,22 +102,34 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=30s ./internal/lint/dataflow
 
 # bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
-# many-task scaling, tracing overhead) and converts the stream into
-# results/BENCH_PR6.json via rtseed-benchjson, the machine-readable
-# perf-trajectory record CI uploads as an artifact. The second pass repeats
-# the continuation-executor headline benchmarks 5× so the record carries
-# medians, and the -baseline flag embeds the pre-continuation (goroutine
-# handshake) medians from results/BENCH_PR6_BASELINE.json next to them.
+# many-task scaling, tracing overhead, cluster fan-out) and converts the
+# stream into results/BENCH_PR8.json via rtseed-benchjson, the
+# machine-readable perf-trajectory record CI uploads as an artifact. The
+# second pass repeats the continuation-executor headline benchmarks 5× so
+# the record carries medians, and the -baseline flag embeds the PR 6
+# medians from results/BENCH_PR6.json next to them.
 bench-json:
 	@mkdir -p results
 	( $(GO) test -run=NONE \
-		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit' \
+		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit|BenchmarkCluster' \
 		-benchmem ./... ; \
 	  $(GO) test -run=NONE \
 		-bench='BenchmarkKernelEventThroughput$$|BenchmarkManyTaskKernel/(release|compute)/n=1024$$' \
 		-benchmem -count=5 . ) \
-	| $(GO) run ./cmd/rtseed-benchjson -baseline results/BENCH_PR6_BASELINE.json -o results/BENCH_PR6.json
-	@echo "wrote results/BENCH_PR6.json"
+	| $(GO) run ./cmd/rtseed-benchjson -baseline results/BENCH_PR6.json -o results/BENCH_PR8.json
+	@echo "wrote results/BENCH_PR8.json"
+
+# bench-trajectory folds every committed per-PR benchmark report into one
+# longitudinal record, results/BENCH_TRAJECTORY.json: each benchmark's
+# ns/op median across the PR stack, oldest point first. Pure file merge —
+# no benchmarks run, so it is cheap enough for every CI pass. The
+# _BASELINE report is excluded: it is PR 6's before-measurement, not a
+# stack point of its own.
+bench-trajectory:
+	@mkdir -p results
+	$(GO) run ./cmd/rtseed-benchjson -trajectory -o results/BENCH_TRAJECTORY.json \
+		$(filter-out %_BASELINE.json,$(sort $(wildcard results/BENCH_PR*.json)))
+	@echo "wrote results/BENCH_TRAJECTORY.json"
 
 # tools installs the pinned external analyzers (network required).
 tools:

@@ -14,6 +14,15 @@
 // benchmark also present in the given prior report carries its before
 // median and the speedup factor, so a PR's perf claim is embedded in the
 // artifact instead of living in a commit message.
+//
+// Trajectory mode folds the per-PR reports into one longitudinal record:
+//
+//	rtseed-benchjson -trajectory [-o FILE] results/BENCH_PR3.json results/BENCH_PR6.json ...
+//
+// Each positional argument is a prior report; its BENCH_-stripped basename
+// ("PR3") becomes the point label. Every benchmark that appears in any
+// report gets a series of ns/op medians across the points it was measured
+// at, so a hot path's history across the PR stack reads out of one file.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -140,6 +150,75 @@ func applyBaseline(rep *Report, path string) error {
 	return nil
 }
 
+// TrajectoryPoint is one measurement of a benchmark at one PR.
+type TrajectoryPoint struct {
+	Point   string  `json:"point"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// TrajectoryEntry is one benchmark's history across the PR reports it
+// appears in. Delta is last/first ns/op over the series — below 1 the path
+// got faster across the stack, above 1 it regressed.
+type TrajectoryEntry struct {
+	Name   string            `json:"name"`
+	Series []TrajectoryPoint `json:"series"`
+	Delta  float64           `json:"delta,omitempty"`
+}
+
+// Trajectory is the longitudinal file layout: the ordered point labels and
+// one entry per benchmark ever measured.
+type Trajectory struct {
+	Points     []string          `json:"points"`
+	Benchmarks []TrajectoryEntry `json:"benchmarks"`
+}
+
+// pointLabel derives a point name from a report path:
+// results/BENCH_PR6.json → "PR6".
+func pointLabel(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	return strings.TrimPrefix(base, "BENCH_")
+}
+
+// buildTrajectory reads the per-PR reports in argument order and merges them
+// into one record. Benchmarks keep first-seen order across the reports, so
+// the output is a pure function of the inputs.
+func buildTrajectory(paths []string) (*Trajectory, error) {
+	traj := &Trajectory{}
+	series := map[string][]TrajectoryPoint{}
+	var order []string
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("rtseed-benchjson: bad report %s: %v", path, err)
+		}
+		label := pointLabel(path)
+		traj.Points = append(traj.Points, label)
+		for _, b := range rep.Benchmarks {
+			if b.NsPerOp <= 0 {
+				continue
+			}
+			if _, seen := series[b.Name]; !seen {
+				order = append(order, b.Name)
+			}
+			series[b.Name] = append(series[b.Name], TrajectoryPoint{Point: label, NsPerOp: b.NsPerOp})
+		}
+	}
+	for _, name := range order {
+		s := series[name]
+		e := TrajectoryEntry{Name: name, Series: s}
+		if len(s) > 1 {
+			e.Delta = s[len(s)-1].NsPerOp / s[0].NsPerOp
+		}
+		traj.Benchmarks = append(traj.Benchmarks, e)
+	}
+	return traj, nil
+}
+
 // parseLine decodes one result line:
 //
 //	BenchmarkName-8   123456   503.8 ns/op   32 B/op   1 allocs/op
@@ -189,21 +268,42 @@ func parseLine(line string) (Result, error) {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	baseline := flag.String("baseline", "", "prior report to compare against (adds baseline_ns_per_op and speedup)")
+	trajectory := flag.Bool("trajectory", false, "merge the per-PR report files given as arguments into one longitudinal record")
 	flag.Parse()
-	rep, err := parseBench(os.Stdin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "rtseed-benchjson: no benchmark results on stdin")
-		os.Exit(1)
-	}
-	if *baseline != "" {
-		if err := applyBaseline(rep, *baseline); err != nil {
+
+	var doc any
+	if *trajectory {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "rtseed-benchjson: -trajectory needs at least one report file argument")
+			os.Exit(2)
+		}
+		if *baseline != "" {
+			fmt.Fprintln(os.Stderr, "rtseed-benchjson: -baseline does not apply in -trajectory mode")
+			os.Exit(2)
+		}
+		traj, err := buildTrajectory(flag.Args())
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
 			os.Exit(1)
 		}
+		doc = traj
+	} else {
+		rep, err := parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(rep.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "rtseed-benchjson: no benchmark results on stdin")
+			os.Exit(1)
+		}
+		if *baseline != "" {
+			if err := applyBaseline(rep, *baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
+				os.Exit(1)
+			}
+		}
+		doc = rep
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -217,7 +317,7 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-benchjson:", err)
 		os.Exit(1)
 	}

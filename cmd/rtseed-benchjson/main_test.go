@@ -128,6 +128,68 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 }
 
+func TestPointLabel(t *testing.T) {
+	for path, want := range map[string]string{
+		"results/BENCH_PR6.json": "PR6",
+		"BENCH_PR8.json":         "PR8",
+		"results/other.json":     "other",
+	} {
+		if got := pointLabel(path); got != want {
+			t.Errorf("pointLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestBuildTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	pr3 := dir + "/BENCH_PR3.json"
+	pr6 := dir + "/BENCH_PR6.json"
+	if err := writeFile(pr3, `{"benchmarks":[
+		{"name":"BenchmarkHot","ns_per_op":40.0},
+		{"name":"BenchmarkGone","ns_per_op":9.0}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(pr6, `{"benchmarks":[
+		{"name":"BenchmarkHot","ns_per_op":10.0},
+		{"name":"BenchmarkNew","ns_per_op":5.0}]}`); err != nil {
+		t.Fatal(err)
+	}
+	traj, err := buildTrajectory([]string{pr3, pr6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(traj.Points), 2; got != want || traj.Points[0] != "PR3" || traj.Points[1] != "PR6" {
+		t.Fatalf("points = %v", traj.Points)
+	}
+	if got, want := len(traj.Benchmarks), 3; got != want {
+		t.Fatalf("merged %d benchmarks, want %d", got, want)
+	}
+	hot := traj.Benchmarks[0]
+	if hot.Name != "BenchmarkHot" || len(hot.Series) != 2 || hot.Delta != 0.25 {
+		t.Errorf("full-history entry = %+v, want 40→10 delta 0.25", hot)
+	}
+	// A benchmark present at only one point keeps its single-point series
+	// and reports no delta.
+	gone := traj.Benchmarks[1]
+	if gone.Name != "BenchmarkGone" || len(gone.Series) != 1 || gone.Delta != 0 {
+		t.Errorf("retired entry = %+v", gone)
+	}
+	if traj.Benchmarks[2].Name != "BenchmarkNew" || traj.Benchmarks[2].Series[0].Point != "PR6" {
+		t.Errorf("late entry = %+v", traj.Benchmarks[2])
+	}
+
+	if _, err := buildTrajectory([]string{dir + "/missing.json"}); err == nil {
+		t.Error("missing report file must error")
+	}
+	bad := dir + "/BENCH_BAD.json"
+	if err := writeFile(bad, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildTrajectory([]string{bad}); err == nil {
+		t.Error("malformed report file must error")
+	}
+}
+
 // writeFile is a test shorthand for dropping fixture files.
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)

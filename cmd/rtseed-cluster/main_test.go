@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testArgs(extra ...string) []string {
+	base := []string{
+		"-clients", "250", "-machines", "3", "-cores", "4", "-smt", "2",
+		"-horizon", "250ms", "-seed", "5",
+	}
+	return append(base, extra...)
+}
+
+func runWithArgs(t *testing.T, args []string) string {
+	t.Helper()
+	fs := flag.NewFlagSet("rtseed-cluster", flag.ContinueOnError)
+	o, err := parseFlags(fs, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, nil, o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReportDeterministicAcrossWorkers is the command's contract: stdout is
+// byte-identical for any -workers value.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	ref := runWithArgs(t, testArgs("-workers", "1"))
+	for _, workers := range []string{"7", "8"} {
+		got := runWithArgs(t, testArgs("-workers", workers))
+		if got != ref {
+			t.Errorf("-workers %s output differs from -workers 1", workers)
+		}
+	}
+	for _, want := range []string{"## admission", "## placement", "## service by class", "## epochs", "simulated events:"} {
+		if !strings.Contains(ref, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestReportWithTraceDir checks the per-machine trace files are written and
+// the merged summary section appears and is consistent.
+func TestReportWithTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	out := runWithArgs(t, testArgs("-trace-dir", dir))
+	if !strings.Contains(out, "## merged trace summary") {
+		t.Fatalf("missing merged trace summary section:\n%s", out)
+	}
+	for i := 0; i < 3; i++ {
+		if m, _ := filepath.Glob(filepath.Join(dir, "machine-00*.rtt")); len(m) != 3 {
+			t.Fatalf("expected 3 trace files, found %v", m)
+		}
+	}
+}
+
+// TestQuickPreset checks -quick overrides the population knobs.
+func TestQuickPreset(t *testing.T) {
+	fs := flag.NewFlagSet("rtseed-cluster", flag.ContinueOnError)
+	o, err := parseFlags(fs, []string{"-quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.clients != 2000 || o.machines != 4 {
+		t.Fatalf("quick preset not applied: %+v", o)
+	}
+}
+
+// TestParseFlagsErrors covers the rejection paths.
+func TestParseFlagsErrors(t *testing.T) {
+	bad := [][]string{
+		{"-policy", "best-fit"},
+		{"-load", "gpu"},
+		{"-workers", "0"},
+		{"-workers", "-3"},
+	}
+	for _, args := range bad {
+		fs := flag.NewFlagSet("rtseed-cluster", flag.ContinueOnError)
+		fs.SetOutput(&bytes.Buffer{})
+		if _, err := parseFlags(fs, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -163,6 +163,40 @@ func RMWP(s *task.Set) ([]Result, error) {
 	return results, firstErr
 }
 
+// RMWPFits is the incremental form of the RMWP test used by admission
+// control: ordered is a rate-monotonically ordered task list (shortest period
+// first) and the function reports whether every task at index >= lo satisfies
+// the RMWP conditions (R^w within the deadline, OD_i >= 0, R^m_i <= OD_i).
+//
+// Inserting a task at RM position lo leaves the response times of the tasks
+// before lo unchanged — interference flows only from higher-priority tasks —
+// so an admission controller that already holds a schedulable list only needs
+// to re-check from the insertion point down. Passing lo = 0 checks the whole
+// list and agrees exactly with RMWP's verdict. Unlike RMWP it allocates
+// nothing and builds no Result slice, so a cluster front-end can afford to
+// run it once per candidate core on every admission attempt.
+func RMWPFits(ordered []task.Task, lo int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < len(ordered); i++ {
+		t := ordered[i]
+		rw, wOK := responseTime(t.Windup, ordered[:i], t.Deadline())
+		if !wOK {
+			return false
+		}
+		rm, mOK := responseTime(t.Mandatory, ordered[:i], t.Deadline())
+		if !mOK {
+			return false
+		}
+		od := t.Deadline() - rw
+		if od < 0 || rm > od {
+			return false
+		}
+	}
+	return true
+}
+
 // OptionalDeadlines is a convenience wrapper around RMWP returning only the
 // per-task relative optional deadlines, keyed by task name.
 func OptionalDeadlines(s *task.Set) (map[string]time.Duration, error) {

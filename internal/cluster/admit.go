@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"time"
+
+	"rtseed/internal/analysis"
+	"rtseed/internal/task"
+)
+
+// inflate returns t with the admission overhead budget folded into both
+// real-time parts, so the response-time analysis prices the kernel costs
+// each part pays (dispatch, timer interrupt, reprogram, jitter).
+func inflate(t task.Task, margin time.Duration) task.Task {
+	t.Mandatory += margin
+	t.Windup += margin
+	return t
+}
+
+// coreState is one core's admitted task list — inflated copies in
+// rate-monotonic order, exactly the list analysis.RMWPFits analyzes.
+type coreState struct {
+	tasks []task.Task
+	util  float64
+}
+
+// rmPos returns the RM insertion position for period p: after every
+// admitted task with period <= p, so earlier-admitted ties keep their
+// higher priority, matching RMBandPriorities' stable tie-break at
+// simulation build.
+func (c *coreState) rmPos(p time.Duration) int {
+	for i, t := range c.tasks {
+		if t.Period > p {
+			return i
+		}
+	}
+	return len(c.tasks)
+}
+
+// tryInsert admits t onto the core if the augmented list passes the
+// incremental P-RMWP test, returning the insertion position. scratch is the
+// caller's reusable buffer; the (possibly grown) buffer is returned either
+// way.
+func (c *coreState) tryInsert(t task.Task, scratch []task.Task) (int, []task.Task, bool) {
+	if c.util+t.Utilization() > 1 {
+		return 0, scratch, false
+	}
+	pos := c.rmPos(t.Period)
+	scratch = scratch[:0]
+	scratch = append(scratch, c.tasks[:pos]...)
+	scratch = append(scratch, t)
+	scratch = append(scratch, c.tasks[pos:]...)
+	// Tasks before pos keep their response times (interference only flows
+	// down the priority order), so the test restarts at the insertion point.
+	if !analysis.RMWPFits(scratch, pos) {
+		return 0, scratch, false
+	}
+	c.tasks = append(c.tasks, task.Task{})
+	copy(c.tasks[pos+1:], c.tasks[pos:])
+	c.tasks[pos] = t
+	c.util += t.Utilization()
+	return pos, scratch, true
+}
+
+// remove undoes an insert at pos (rollback of a partially placed client).
+func (c *coreState) remove(pos int) {
+	c.util -= c.tasks[pos].Utilization()
+	c.tasks = append(c.tasks[:pos], c.tasks[pos+1:]...)
+}
+
+// machineState is one machine's admission-control state: per-core task
+// lists plus machine totals the routing policies order by.
+type machineState struct {
+	cores   []coreState
+	util    float64 // sum of admitted inflated utilizations
+	clients int
+	tasks   int
+
+	scratch  []task.Task // RMWPFits candidate buffer
+	placeBuf []placement // current client's placements, for rollback
+	coreBuf  []int       // current client's core per task
+}
+
+func newMachineState(cores int) *machineState {
+	return &machineState{cores: make([]coreState, cores)}
+}
+
+// placement records where one task landed, for rollback.
+type placement struct{ core, pos int }
+
+// admit places every task of set onto the machine's cores (first-fit over
+// cores, each core checked with the exact incremental P-RMWP test on
+// inflated copies) or leaves the machine unchanged. On success it returns
+// the core index of each task, parallel to set.Tasks; the slice is reused
+// by the next call.
+func (m *machineState) admit(set *task.Set, margin time.Duration) ([]int, bool) {
+	m.placeBuf = m.placeBuf[:0]
+	m.coreBuf = m.coreBuf[:0]
+
+	setU := 0.0
+	ok := true
+	for _, raw := range set.Tasks {
+		t := inflate(raw, margin)
+		if t.WCET() > t.Period {
+			ok = false
+			break
+		}
+		setU += t.Utilization()
+	}
+	if ok && m.util+setU > float64(len(m.cores)) {
+		ok = false
+	}
+	if ok {
+		for _, raw := range set.Tasks {
+			t := inflate(raw, margin)
+			placed := false
+			for ci := range m.cores {
+				pos, scratch, fit := m.cores[ci].tryInsert(t, m.scratch)
+				m.scratch = scratch
+				if fit {
+					m.placeBuf = append(m.placeBuf, placement{core: ci, pos: pos})
+					m.coreBuf = append(m.coreBuf, ci)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		// Roll back in reverse insertion order: each recorded position is
+		// valid once every later insert has been removed.
+		for i := len(m.placeBuf) - 1; i >= 0; i-- {
+			p := m.placeBuf[i]
+			m.cores[p.core].remove(p.pos)
+		}
+		return nil, false
+	}
+	m.util += setU
+	m.clients++
+	m.tasks += len(set.Tasks)
+	return m.coreBuf, true
+}

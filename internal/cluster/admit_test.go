@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rtseed/internal/machine"
+	"rtseed/internal/task"
+)
+
+// TestAnalyticalAdmissionImpliesEmpiricalMissFree is the soundness property
+// of the admission controller: every client the inflated P-RMWP analysis
+// admits must run miss-free in the simulation. Analytical admission works
+// on WCETs inflated by OverheadPerPart; the simulation charges the real
+// kernel costs (dispatch, timers, jitter) — the property holds only if the
+// margin truly budgets them, so this is the empirical contract for
+// DefaultOverheadPerPart.
+func TestAnalyticalAdmissionImpliesEmpiricalMissFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed simulation sweep")
+	}
+	for _, policy := range Policies() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := Run(Config{
+				Machines: 2,
+				Topology: machine.Topology{Cores: 4, ThreadsPerCore: 2},
+				Policy:   policy,
+				Clients:  300,
+				Seed:     seed,
+				Horizon:  time.Second,
+			})
+			if err != nil {
+				t.Fatalf("policy %v seed %d: %v", policy, seed, err)
+			}
+			if res.Admitted == 0 {
+				t.Fatalf("policy %v seed %d: admitted no clients — property vacuous", policy, seed)
+			}
+			if res.Jobs == 0 {
+				t.Fatalf("policy %v seed %d: no jobs completed", policy, seed)
+			}
+			if res.Misses != 0 {
+				t.Errorf("policy %v seed %d: admitted workload missed %d/%d deadlines; OverheadPerPart margin too small",
+					policy, seed, res.Misses, res.Jobs)
+			}
+		}
+	}
+}
+
+// TestAdmitRollbackLeavesMachineUnchanged drives a machine to rejection and
+// checks the failed admission left no partial placement behind.
+func TestAdmitRollbackLeavesMachineUnchanged(t *testing.T) {
+	m := newMachineState(1)
+	big := task.Uniform("a", 2*time.Millisecond, 2*time.Millisecond, 0, 0, 10*time.Millisecond)
+	set := task.MustNewSet(big)
+	if _, ok := m.admit(set, 0); !ok {
+		t.Fatal("first 40%-utilization task should fit an empty core")
+	}
+	utilBefore, tasksBefore := m.util, len(m.cores[0].tasks)
+
+	// Two tasks that fit individually but not together on the loaded core:
+	// the second must roll the first back out.
+	over := task.MustNewSet(
+		task.Uniform("b.0", 2*time.Millisecond, 2*time.Millisecond, 0, 0, 10*time.Millisecond),
+		task.Uniform("b.1", 3*time.Millisecond, 3*time.Millisecond, 0, 0, 10*time.Millisecond),
+	)
+	if _, ok := m.admit(over, 0); ok {
+		t.Fatal("140%-utilization client admitted onto one core")
+	}
+	if m.util != utilBefore || len(m.cores[0].tasks) != tasksBefore || m.clients != 1 {
+		t.Fatalf("rollback left residue: util %v->%v, tasks %d->%d, clients %d",
+			utilBefore, m.util, tasksBefore, len(m.cores[0].tasks), m.clients)
+	}
+}
+
+// TestAdmitInflationRejectsTightSets checks the margin is actually applied:
+// a task set that fits exactly without overhead must be rejected once each
+// part carries the inflation.
+func TestAdmitInflationRejectsTightSets(t *testing.T) {
+	full := task.MustNewSet(task.Uniform("a", 5*time.Millisecond, 5*time.Millisecond, 0, 0, 10*time.Millisecond))
+	if _, ok := newMachineState(1).admit(full, 0); !ok {
+		t.Fatal("exactly-full core rejected with zero margin")
+	}
+	if _, ok := newMachineState(1).admit(full, DefaultOverheadPerPart); ok {
+		t.Fatal("exactly-full core admitted despite inflation margin")
+	}
+}
+
+// TestMillionClientAdmission checks the admission front end handles an
+// offered population three orders of magnitude beyond fleet capacity: the
+// utilization watermark must make post-saturation rejections O(1), so a
+// million-client sweep stays interactive (the acceptance bar is minutes;
+// in practice this runs in well under a second).
+func TestMillionClientAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-client sweep")
+	}
+	p, err := NewPlan(Config{Machines: 8, Clients: 1_000_000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.res.Offered != 1_000_000 {
+		t.Fatalf("offered %d clients, want 1000000", p.res.Offered)
+	}
+	if p.res.Admitted == 0 || p.res.MachinesUsed != 8 {
+		t.Fatalf("admitted %d clients on %d machines; fleet should saturate", p.res.Admitted, p.res.MachinesUsed)
+	}
+	for _, m := range p.res.Machines {
+		if m.Utilization > 1 {
+			t.Errorf("machine %d admitted %.3f utilization per core", m.Machine, m.Utilization)
+		}
+	}
+}
+
+// TestGenerateClientDeterministic checks the population is a pure function
+// of (seed, id) and classes stay within their declared ranges.
+func TestGenerateClientDeterministic(t *testing.T) {
+	for id := 0; id < 50; id++ {
+		a, err := GenerateClient(7, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateClient(7, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Class != b.Class || a.Symbol != b.Symbol || a.Set.Len() != b.Set.Len() {
+			t.Fatalf("client %d differs between identical draws", id)
+		}
+		for i := range a.Set.Tasks {
+			if !reflect.DeepEqual(a.Set.Tasks[i], b.Set.Tasks[i]) {
+				t.Fatalf("client %d task %d differs", id, i)
+			}
+		}
+		lo, hi := a.Class.periodRange()
+		for _, tk := range a.Set.Tasks {
+			if tk.Period < lo || tk.Period > hi {
+				t.Fatalf("client %d (%v): period %v outside [%v, %v]", id, a.Class, tk.Period, lo, hi)
+			}
+		}
+		if n := a.Set.Len(); n < 1 || n > 3 {
+			t.Fatalf("client %d: %d tasks, want 1-3", id, n)
+		}
+	}
+}

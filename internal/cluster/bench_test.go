@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rtseed/internal/engine"
+	"rtseed/internal/machine"
+)
+
+// benchConfig is the reduced fleet used by the scaling benchmarks: 8
+// machines of 8x2 cores, enough admitted clients to keep every machine
+// busy, short horizon so one Simulate stays in benchmark range.
+func benchConfig() Config {
+	return Config{
+		Machines: 8,
+		Topology: machine.Topology{Cores: 8, ThreadsPerCore: 2},
+		Clients:  1500,
+		Seed:     17,
+		Horizon:  500 * time.Millisecond,
+	}
+}
+
+// BenchmarkClusterScaling measures the fleet simulation's parallel scaling:
+// it reports the wall-clock speedup of a GOMAXPROCS-worker run over a
+// one-worker run of the same plan ("speedup-x"; ~1 on a single-CPU host,
+// approaching min(workers, machines) on real hardware since machines only
+// meet at epoch barriers) and the steady-state cost per simulated event.
+func BenchmarkClusterScaling(b *testing.B) {
+	plan, err := NewPlan(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+
+	plan.cfg.Workers = 1
+	seqStart := time.Now()
+	if _, err := plan.Simulate(); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+	plan.cfg.Workers = workers
+	parStart := time.Now()
+	if _, err := plan.Simulate(); err != nil {
+		b.Fatal(err)
+	}
+	par := time.Since(parStart)
+
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plan.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	// After the loop: ResetTimer deletes previously reported metrics.
+	b.ReportMetric(float64(seq)/float64(par), "speedup-x")
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
+
+// BenchmarkClusterAdmission measures the front end alone: clients offered
+// per second through draw → route → incremental P-RMWP admission, at a
+// population well past fleet saturation so both the analyzed and the
+// watermark-rejected regimes contribute.
+func BenchmarkClusterAdmission(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Clients = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlan(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Clients)*float64(b.N)/b.Elapsed().Seconds(), "clients/sec")
+}
+
+// BenchmarkClusterSingleMachine prices the cluster wrapper itself: the same
+// single-machine workload run through the epoch-stepped cluster path
+// ("cluster") and driven straight to the horizon ("direct"). The acceptance
+// bar is the cluster path within 5% of direct ns/event.
+func BenchmarkClusterSingleMachine(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Machines = 1
+	plan, err := NewPlan(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cluster", func(b *testing.B) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			res, err := plan.Simulate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+		if events > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			s, err := newSim(0, &plan.cfg, plan.placed[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.runUntil(engine.At(plan.cfg.Horizon))
+			events += s.eng.Steps()
+			if err := s.finish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if events > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		}
+	})
+}

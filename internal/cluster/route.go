@@ -1,0 +1,58 @@
+package cluster
+
+import "fmt"
+
+// Policy is the order machines are offered a client. Placement is always
+// admission-checked — a policy only chooses who gets to say yes first — so
+// every policy preserves the analytical admission guarantee and differs
+// only in packing density and isolation.
+type Policy uint8
+
+const (
+	// FirstFit offers machines in index order: packs the fleet from the
+	// front, minimizing machines used.
+	FirstFit Policy = iota + 1
+	// WorstFit offers the least-utilized machine first: balances admitted
+	// utilization across the fleet.
+	WorstFit
+	// LeastLoaded offers the machine with the fewest admitted clients
+	// first: balances tenant count rather than load.
+	LeastLoaded
+	// SymbolAffinity starts at hash(symbol) mod machines and probes
+	// linearly: keeps one symbol's order flow on one machine so
+	// cross-machine signals about a symbol stay local.
+	SymbolAffinity
+)
+
+// Policies lists the routing policies in definition order.
+func Policies() []Policy {
+	return []Policy{FirstFit, WorstFit, LeastLoaded, SymbolAffinity}
+}
+
+// String implements fmt.Stringer with the CLI names.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	case LeastLoaded:
+		return "least-loaded"
+	case SymbolAffinity:
+		return "affinity"
+	}
+	return fmt.Sprintf("policy%d", uint8(p))
+}
+
+// Valid reports whether p is a defined policy.
+func (p Policy) Valid() bool { return p >= FirstFit && p <= SymbolAffinity }
+
+// ParsePolicy maps a CLI name to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown policy %q (want first-fit, worst-fit, least-loaded, or affinity)", s)
+}

@@ -32,6 +32,7 @@ var Analyzer = &lint.Analyzer{
 var scopedPackages = []string{
 	"engine", "kernel", "overhead", "analysis", "sweep", "sched",
 	"task", "machine", "partition", "assign", "rt", "core", "trace",
+	"cluster",
 }
 
 // InScope reports whether the determinism contract applies to importPath.

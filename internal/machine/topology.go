@@ -35,6 +35,14 @@ func XeonPhi3120A() Topology {
 	return Topology{Cores: 57, ThreadsPerCore: 4}
 }
 
+// CommodityServer is the per-machine topology of the cluster layer: a
+// 16-core, 2-way-SMT trading server — the box a fleet is actually built from,
+// as opposed to the paper's single accelerator card. Cluster sweeps default
+// to many of these rather than one Xeon Phi.
+func CommodityServer() Topology {
+	return Topology{Cores: 16, ThreadsPerCore: 2}
+}
+
 // Validate reports whether the topology is well formed.
 func (t Topology) Validate() error {
 	if t.Cores <= 0 {

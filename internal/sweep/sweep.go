@@ -5,6 +5,11 @@
 // executor fans the cells out over a bounded worker pool and reassembles
 // results in index order, so output is identical to a sequential run
 // regardless of worker count.
+//
+// The cluster layer (internal/cluster) reuses the same pool as its epoch
+// executor: each simulated machine is one cell, Each is called once per
+// epoch, and the call's completion is the epoch barrier at which machines
+// exchange utilization and deadline-miss signals.
 package sweep
 
 import (

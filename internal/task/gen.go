@@ -25,6 +25,11 @@ type GenConfig struct {
 	OptionalLength time.Duration
 	// Seed seeds the generator.
 	Seed uint64
+	// NamePrefix prefixes generated task names ("g" when empty, yielding
+	// g0, g1, ...). Callers that pool sets from many generator draws — the
+	// cluster front-end admits thousands of client sets onto one machine —
+	// use it to keep task names globally unique.
+	NamePrefix string
 }
 
 func (c *GenConfig) fillDefaults() {
@@ -36,6 +41,9 @@ func (c *GenConfig) fillDefaults() {
 	}
 	if c.WindupFraction == 0 {
 		c.WindupFraction = 0.5
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "g"
 	}
 }
 
@@ -78,7 +86,7 @@ func Generate(cfg GenConfig) (*Set, error) {
 			m = 1
 			w = wcet - m
 		}
-		tasks[i] = Uniform(fmt.Sprintf("g%d", i), m, w, cfg.OptionalLength, cfg.NumOptional, period)
+		tasks[i] = Uniform(fmt.Sprintf("%s%d", cfg.NamePrefix, i), m, w, cfg.OptionalLength, cfg.NumOptional, period)
 	}
 	return NewSet(tasks...)
 }

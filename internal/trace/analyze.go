@@ -188,6 +188,44 @@ func (a *Analysis) NonEmpty() bool {
 	return false
 }
 
+// MergedSummary is the cross-file aggregate of several analyses. The cluster
+// layer records one trace file per simulated machine; merging their analyses
+// gives one deterministic fleet-wide summary (sums and maxima are insensitive
+// to the order the per-machine files are visited in).
+type MergedSummary struct {
+	// Files is how many analyses were merged.
+	Files int
+	// Tasks, Jobs and Misses are summed over every file's task statistics.
+	Tasks  int
+	Jobs   int
+	Misses int
+	// Span is the largest traced horizon of any file.
+	Span engine.Time
+	// Lost is the total overwritten-record count across files.
+	Lost uint64
+}
+
+// Merge aggregates per-machine analyses into one fleet summary.
+func Merge(as ...*Analysis) MergedSummary {
+	var m MergedSummary
+	for _, a := range as {
+		if a == nil {
+			continue
+		}
+		m.Files++
+		m.Tasks += len(a.Tasks)
+		for i := range a.Tasks {
+			m.Jobs += a.Tasks[i].Jobs
+			m.Misses += a.Tasks[i].Misses
+		}
+		if a.Span > m.Span {
+			m.Span = a.Span
+		}
+		m.Lost += a.Lost
+	}
+	return m
+}
+
 // taskName maps a thread name to its task: the middleware names threads
 // "<task>.mand" and "<task>.opt<k>", anything else is its own task.
 func taskName(thread string) string {
