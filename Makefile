@@ -10,9 +10,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: ci vet lint lint-stats vuln build test test-race bench-smoke bench bench-json bench-trajectory trace-smoke cluster-smoke fuzz-smoke tools clean
+.PHONY: ci vet lint lint-stats vuln build test test-race bench-smoke bench bench-json bench-trajectory trace-smoke cluster-smoke workload-smoke fuzz-smoke tools clean
 
-ci: vet lint build test test-race bench-smoke trace-smoke cluster-smoke fuzz-smoke vuln
+ci: vet lint build test test-race bench-smoke trace-smoke cluster-smoke workload-smoke fuzz-smoke vuln
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,29 @@ cluster-smoke:
 	diff results/cluster-smoke-w1.txt results/cluster-smoke-w8.txt
 	@echo "cluster-smoke: reports byte-identical across worker counts"
 
+# workload-smoke is the executable form of the workload subsystem's
+# determinism contract, end to end through the CLIs: generate the bursty
+# flash-crash spec, record its population and ticks to a .rtk trace, run the
+# cluster sweep from the spec at one worker and at eight (byte-identical
+# reports required), then replay the recorded trace and require the replay
+# report to be byte-identical to the generating run. Artifacts land under
+# results/workload-smoke-* (gitignored).
+workload-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/rtseed-workload spec -builtin flash-crash -o results/workload-smoke-spec.json
+	$(GO) run ./cmd/rtseed-workload gen -spec results/workload-smoke-spec.json \
+		-clients 2000 -seed 11 -horizon 200ms -ticks 2000 -o results/workload-smoke.rtk
+	$(GO) run ./cmd/rtseed-workload validate results/workload-smoke.rtk
+	$(GO) run ./cmd/rtseed-cluster -machines 4 -margin 0 -clients 2000 -seed 11 -horizon 200ms \
+		-spec results/workload-smoke-spec.json -workers 1 -o results/workload-smoke-w1.txt
+	$(GO) run ./cmd/rtseed-cluster -machines 4 -margin 0 -clients 2000 -seed 11 -horizon 200ms \
+		-spec results/workload-smoke-spec.json -workers 8 -o results/workload-smoke-w8.txt
+	diff results/workload-smoke-w1.txt results/workload-smoke-w8.txt
+	$(GO) run ./cmd/rtseed-cluster -machines 4 -margin 0 \
+		-replay results/workload-smoke.rtk -workers 8 -o results/workload-smoke-replay.txt
+	diff results/workload-smoke-w1.txt results/workload-smoke-replay.txt
+	@echo "workload-smoke: spec sweep identical across workers; replay reproduces the generating run"
+
 # fuzz-smoke runs each fuzz target for a short, bounded burst: long enough to
 # trip a regression in the engine-vs-oracle equivalence or the trace codec
 # round-trip, short enough for every CI run. `go test -fuzz` accepts a single
@@ -100,24 +123,29 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzTraceCodec -fuzztime=30s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzBodyVsGoroutine -fuzztime=30s ./internal/sched
 	$(GO) test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=30s ./internal/lint/dataflow
+	$(GO) test -run=NONE -fuzz=FuzzWorkloadCodec -fuzztime=30s ./internal/workload
 
 # bench-json runs the scheduling-core benchmarks (engine, kernel hot paths,
-# many-task scaling, tracing overhead, cluster fan-out) and converts the
-# stream into results/BENCH_PR8.json via rtseed-benchjson, the
+# many-task scaling, tracing overhead, cluster fan-out, workload
+# generation/replay) and converts the stream into
+# results/BENCH_PR$(BENCH_PR).json via rtseed-benchjson, the
 # machine-readable perf-trajectory record CI uploads as an artifact. The
 # second pass repeats the continuation-executor headline benchmarks 5× so
-# the record carries medians, and the -baseline flag embeds the PR 6
-# medians from results/BENCH_PR6.json next to them.
+# the record carries medians, and the -baseline flag embeds the previous
+# stack point's medians from results/BENCH_PR$(BENCH_BASE).json next to
+# them. Override per stack point: `make bench-json BENCH_PR=10 BENCH_BASE=9`.
+BENCH_PR ?= 9
+BENCH_BASE ?= 8
 bench-json:
 	@mkdir -p results
 	( $(GO) test -run=NONE \
-		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit|BenchmarkCluster' \
+		-bench='BenchmarkEngine|BenchmarkKernel|BenchmarkManyTaskKernel|BenchmarkTracingOverhead|BenchmarkTraceEmit|BenchmarkCluster|BenchmarkWorkload' \
 		-benchmem ./... ; \
 	  $(GO) test -run=NONE \
 		-bench='BenchmarkKernelEventThroughput$$|BenchmarkManyTaskKernel/(release|compute)/n=1024$$' \
 		-benchmem -count=5 . ) \
-	| $(GO) run ./cmd/rtseed-benchjson -baseline results/BENCH_PR6.json -o results/BENCH_PR8.json
-	@echo "wrote results/BENCH_PR8.json"
+	| $(GO) run ./cmd/rtseed-benchjson -baseline results/BENCH_PR$(BENCH_BASE).json -o results/BENCH_PR$(BENCH_PR).json
+	@echo "wrote results/BENCH_PR$(BENCH_PR).json"
 
 # bench-trajectory folds every committed per-PR benchmark report into one
 # longitudinal record, results/BENCH_TRAJECTORY.json: each benchmark's

@@ -20,6 +20,7 @@ import (
 	"rtseed/internal/report"
 	"rtseed/internal/sweep"
 	"rtseed/internal/task"
+	"rtseed/internal/workload"
 )
 
 // options is the parsed command line.
@@ -30,6 +31,7 @@ type options struct {
 	accept     bool
 	acceptN    int
 	acceptSets int
+	acceptSpec string
 	workers    int
 }
 
@@ -45,6 +47,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.BoolVar(&o.accept, "accept", false, "run an acceptance-ratio sweep over random task sets instead")
 	fs.IntVar(&o.acceptN, "accept-n", 6, "tasks per random set for -accept")
 	fs.IntVar(&o.acceptSets, "accept-sets", 200, "random sets per utilization point for -accept")
+	fs.StringVar(&o.acceptSpec, "accept-spec", "", "draw -accept task sets from this workload spec (a builtin name or a JSON file) instead of the uniform default")
 	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "utilization points evaluated in parallel for -accept (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -62,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 	if o.accept {
-		err = runAcceptance(o.acceptN, o.acceptSets, o.workers)
+		err = runAcceptance(o.acceptN, o.acceptSets, o.workers, o.acceptSpec)
 	} else {
 		err = runWithSource(o.spec, o.taskFile, o.m)
 	}
@@ -75,22 +78,32 @@ func main() {
 // runAcceptance sweeps random task sets over total utilization and compares
 // the RMWP test against general-RM exact analysis and the Liu & Layland
 // bound — the cost of guaranteeing wind-up parts.
-func runAcceptance(n, sets, workers int) error {
+func runAcceptance(n, sets, workers int, specArg string) error {
 	var utils []float64
 	for u := 0.1; u <= 1.0001; u += 0.1 {
 		utils = append(utils, u)
 	}
-	points, err := analysis.AcceptanceRatio(analysis.AcceptanceConfig{
+	cfg := analysis.AcceptanceConfig{
 		N:            n,
 		SetsPerPoint: sets,
 		Utilizations: utils,
 		Seed:         0xacce,
 		Workers:      workers,
-	})
+	}
+	genName := "UUniFast"
+	if specArg != "" {
+		spec, err := loadWorkloadSpec(specArg)
+		if err != nil {
+			return err
+		}
+		cfg.Spec = &spec
+		genName = fmt.Sprintf("workload spec %s", spec.Name)
+	}
+	points, err := analysis.AcceptanceRatio(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Acceptance ratio over %d random sets per point (n=%d, UUniFast):\n", sets, n)
+	fmt.Printf("Acceptance ratio over %d random sets per point (n=%d, %s):\n", sets, n, genName)
 	tbl := report.NewTable("ΣU", "RMWP", "general RM (exact)", "Liu&Layland bound")
 	for _, p := range points {
 		tbl.AddRow(fmt.Sprintf("%.1f", p.Utilization), p.RMWP, p.GeneralRM, p.LLBound)
@@ -181,4 +194,18 @@ func pass(ok bool) string {
 		return "PASS"
 	}
 	return "inconclusive (run exact RMWP analysis below)"
+}
+
+// loadWorkloadSpec resolves a workload spec from a builtin name or a JSON
+// file path.
+func loadWorkloadSpec(arg string) (workload.Spec, error) {
+	if spec, ok := workload.BuiltinSpec(arg); ok {
+		return spec, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	defer f.Close()
+	return workload.ParseSpec(f)
 }

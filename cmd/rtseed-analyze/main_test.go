@@ -70,8 +70,17 @@ func TestRunBadSpec(t *testing.T) {
 }
 
 func TestRunAcceptance(t *testing.T) {
-	if err := runAcceptance(3, 10, 2); err != nil {
+	if err := runAcceptance(3, 10, 2, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunAcceptanceSpec(t *testing.T) {
+	if err := runAcceptance(3, 10, 2, "flash-crash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAcceptance(3, 10, 2, "no-such-spec.json"); err == nil {
+		t.Fatal("missing spec accepted")
 	}
 }
 

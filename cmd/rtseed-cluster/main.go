@@ -11,7 +11,14 @@
 //	               [-policy first-fit|worst-fit|least-loaded|affinity]
 //	               [-load none|cpu|cpumem] [-horizon D] [-epoch D]
 //	               [-seed N] [-margin D] [-workers N] [-trace-dir DIR]
+//	               [-spec FILE|NAME] [-replay FILE.rtk]
 //	               [-quick] [-bench] [-o FILE]
+//
+// -spec compiles a workload spec (a JSON file or a builtin name: steady,
+// flash-crash, open-close) into the offered population; -replay loads a
+// recorded .rtk trace and reproduces its generating run exactly (clients,
+// seed, and horizon come from the trace, so the report matches the
+// generating run's byte-for-byte under the same fleet flags).
 //
 // The report (stdout or -o) is a pure function of the flags — byte-identical
 // for any -workers value. Wall-clock timing and the -bench speedup
@@ -31,6 +38,7 @@ import (
 	"rtseed/internal/report"
 	"rtseed/internal/sweep"
 	"rtseed/internal/trace"
+	"rtseed/internal/workload"
 )
 
 // options is the parsed command line.
@@ -47,6 +55,8 @@ type options struct {
 	margin   time.Duration
 	workers  int
 	traceDir string
+	spec     string
+	replay   string
 	quick    bool
 	bench    bool
 	out      string
@@ -70,6 +80,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.DurationVar(&o.margin, "margin", cluster.DefaultOverheadPerPart, "admission inflation per mandatory/wind-up part (0 disables)")
 	fs.IntVar(&o.workers, "workers", sweep.DefaultWorkers(), "machines simulated in parallel (the report is identical for any value)")
 	fs.StringVar(&o.traceDir, "trace-dir", "", "write one .rtt trace per machine to this directory and report the merged summary")
+	fs.StringVar(&o.spec, "spec", "", "workload spec: a JSON file or a builtin name (steady, flash-crash, open-close)")
+	fs.StringVar(&o.replay, "replay", "", "replay a recorded .rtk workload trace (its clients, seed, and horizon override the flags)")
 	fs.BoolVar(&o.quick, "quick", false, "reduced population and horizon for a fast run")
 	fs.BoolVar(&o.bench, "bench", false, "also run with -workers 1 and report the parallel speedup to stderr")
 	fs.StringVar(&o.out, "o", "", "write the report to this file (default stdout)")
@@ -85,6 +97,9 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	}
 	if err := sweep.ValidateWorkers(o.workers); err != nil {
 		return nil, err
+	}
+	if o.spec != "" && o.replay != "" {
+		return nil, fmt.Errorf("-spec and -replay are mutually exclusive")
 	}
 	if o.quick {
 		o.clients = 2000
@@ -162,6 +177,28 @@ func run(w, timing io.Writer, o *options) error {
 		}
 	}
 	cfg := o.config()
+	if o.spec != "" {
+		spec, err := loadSpec(o.spec)
+		if err != nil {
+			return err
+		}
+		src, err := workload.Compile(spec, workload.CompileConfig{
+			Clients: o.clients, Seed: cfg.Seed, Horizon: cfg.Horizon,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Source = src
+	}
+	if o.replay != "" {
+		tr, err := workload.ReadFile(o.replay)
+		if err != nil {
+			return err
+		}
+		cfg.Source = workload.NewReplay(tr)
+		cfg.Seed = tr.Meta.Seed
+		cfg.Horizon = tr.Meta.Horizon
+	}
 
 	admitStart := time.Now()
 	plan, err := cluster.NewPlan(cfg)
@@ -208,8 +245,8 @@ func report1(w io.Writer, o *options, cfg cluster.Config, res *cluster.Result) e
 	fmt.Fprintf(w, "# rtseed-cluster\n\n")
 	fmt.Fprintf(w, "fleet: %d machines x (%d cores x %d SMT), policy %s, load %s\n",
 		cfg.Machines, cfg.Topology.Cores, cfg.Topology.ThreadsPerCore, cfg.Policy, cfg.Load)
-	fmt.Fprintf(w, "offered: %d clients, seed %d, horizon %v, epoch %v, margin %v/part\n\n",
-		cfg.Clients, cfg.Seed, cfg.Horizon, cfg.Epoch, cfg.OverheadPerPart)
+	fmt.Fprintf(w, "offered: %d clients (workload %s), seed %d, horizon %v, epoch %v, margin %v/part\n\n",
+		cfg.Clients, res.Workload, cfg.Seed, cfg.Horizon, cfg.Epoch, cfg.OverheadPerPart)
 
 	fmt.Fprintf(w, "## admission\n\n```\n")
 	adm := report.NewTable("class", "offered", "admitted", "ratio", "tasks")
@@ -235,6 +272,16 @@ func report1(w io.Writer, o *options, cfg cluster.Config, res *cluster.Result) e
 	}
 	svc.AddRow("total", res.Jobs, res.Misses, missRate(res.Misses, res.Jobs))
 	fmt.Fprintf(w, "%s```\n\n", svc)
+
+	if len(res.Windows) > 0 {
+		fmt.Fprintf(w, "## service by window\n\n```\n")
+		wt := report.NewTable("window", "span", "rate", "offered", "admitted", "jobs", "misses", "miss-rate")
+		for _, win := range res.Windows {
+			wt.AddRow(win.Name, fmt.Sprintf("%v-%v", win.Start, win.End), win.Rate,
+				win.Offered, win.Admitted, win.Jobs, win.Misses, win.MissRate())
+		}
+		fmt.Fprintf(w, "%s```\n\n", wt)
+	}
 
 	fmt.Fprintf(w, "## epochs\n\n```\n")
 	et := report.NewTable("end", "jobs", "misses", "mean-busy", "max-busy")
@@ -263,6 +310,20 @@ func missRate(misses, jobs int) float64 {
 		return 0
 	}
 	return float64(misses) / float64(jobs)
+}
+
+// loadSpec resolves -spec: a builtin name first, else a JSON spec file.
+func loadSpec(arg string) (workload.Spec, error) {
+	if spec, ok := workload.BuiltinSpec(arg); ok {
+		return spec, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return workload.Spec{}, fmt.Errorf("-spec %q is neither a builtin name (%v) nor a readable file: %w",
+			arg, workload.BuiltinSpecNames(), err)
+	}
+	defer f.Close()
+	return workload.ParseSpec(f)
 }
 
 // mergedSummary reads the per-machine trace files back and folds their

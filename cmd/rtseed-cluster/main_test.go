@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"rtseed/internal/workload"
 )
 
 func testArgs(extra ...string) []string {
@@ -88,5 +91,41 @@ func TestParseFlagsErrors(t *testing.T) {
 		if _, err := parseFlags(fs, args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestSpecAndReplayFlags drives -spec and -replay end to end: a builtin
+// bursty spec produces the per-window table, and replaying its recorded
+// trace reproduces the generating run's report byte-for-byte.
+func TestSpecAndReplayFlags(t *testing.T) {
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "fc.rtk")
+
+	spec, _ := workload.BuiltinSpec("flash-crash")
+	src, err := workload.Compile(spec, workload.CompileConfig{
+		Clients: 250, Seed: 5, Horizon: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteFile(trPath, src.Trace(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := runWithArgs(t, testArgs("-spec", "flash-crash", "-margin", "0"))
+	if !strings.Contains(gen, "## service by window") || !strings.Contains(gen, "crash") {
+		t.Fatalf("spec report missing window table:\n%s", gen)
+	}
+	if !strings.Contains(gen, "workload flash-crash") {
+		t.Errorf("spec report missing workload name")
+	}
+	rep := runWithArgs(t, testArgs("-replay", trPath, "-margin", "0"))
+	if gen != rep {
+		t.Fatalf("replay report differs from generating run:\n--- gen\n%s\n--- replay\n%s", gen, rep)
+	}
+
+	fs := flag.NewFlagSet("rtseed-cluster", flag.ContinueOnError)
+	if _, err := parseFlags(fs, testArgs("-spec", "flash-crash", "-replay", trPath)); err == nil {
+		t.Error("-spec with -replay parsed, want error")
 	}
 }

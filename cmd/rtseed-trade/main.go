@@ -8,10 +8,15 @@
 // Usage:
 //
 //	rtseed-trade [-ticks N] [-policy one|two|all] [-load none|cpu|cpumem]
-//	             [-odscale F] [-trace FILE]
+//	             [-odscale F] [-trace FILE] [-replay FILE.rtk] [-symbol N]
 //
 // -trace records every kernel scheduling event and middleware part boundary
 // of the run into a binary trace file for rtseed-trace.
+//
+// -replay trades against the market ticks recorded in a .rtk workload trace
+// (rtseed-workload gen) instead of the synthetic generator, looping the
+// recording so all -ticks jobs complete; -symbol restricts the recording to
+// one symbol's quotes.
 //
 // -odscale scales the optional-part execution time relative to the optional
 // deadline: >1 means the analyses always overrun and are terminated
@@ -34,6 +39,7 @@ import (
 	"rtseed/internal/task"
 	"rtseed/internal/trace"
 	"rtseed/internal/trading"
+	"rtseed/internal/workload"
 )
 
 func main() {
@@ -45,12 +51,17 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep the number of parallel optional parts and report the QoS/latency trade-off instead")
 	feedAddr := flag.String("feed", "", "dial a rtseed-feedd quote server instead of the in-process generator")
 	tracePath := flag.String("trace", "", "write a binary trace of the run to this file (analyze with rtseed-trace)")
+	replayPath := flag.String("replay", "", "trade the ticks recorded in this .rtk workload trace, looping the recording")
+	symbol := flag.Int("symbol", -1, "with -replay, trade only this symbol's ticks (-1: all)")
 	flag.Parse()
 	var err error
-	if *sweep {
+	switch {
+	case *sweep:
 		err = runSweep(*policyName, *loadName)
-	} else {
-		err = run(*ticks, *policyName, *loadName, *feedAddr, *tracePath, *odScale, *seed)
+	case *replayPath != "" && *feedAddr != "":
+		err = fmt.Errorf("-replay and -feed are mutually exclusive")
+	default:
+		err = run(*ticks, *policyName, *loadName, *feedAddr, *replayPath, *symbol, *tracePath, *odScale, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtseed-trade:", err)
@@ -114,7 +125,7 @@ func parseLoad(s string) (machine.Load, error) {
 	}
 }
 
-func run(ticks int, policyName, loadName, feedAddr, tracePath string, odScale float64, seed uint64) error {
+func run(ticks int, policyName, loadName, feedAddr, replayPath string, symbol int, tracePath string, odScale float64, seed uint64) error {
 	pol, err := parsePolicy(policyName)
 	if err != nil {
 		return err
@@ -135,14 +146,21 @@ func run(ticks int, policyName, loadName, feedAddr, tracePath string, odScale fl
 	)
 
 	var source trading.Source
-	if feedAddr != "" {
+	switch {
+	case replayPath != "":
+		feed, err := replaySource(replayPath, symbol)
+		if err != nil {
+			return err
+		}
+		source = feed
+	case feedAddr != "":
 		nf, err := trading.DialFeed(feedAddr)
 		if err != nil {
 			return err
 		}
 		defer nf.Close()
 		source = nf
-	} else {
+	default:
 		feed, err := trading.NewFeed(trading.FeedConfig{Seed: seed, Volatility: 0.002})
 		if err != nil {
 			return err
@@ -230,4 +248,30 @@ func run(ticks int, policyName, loadName, feedAddr, tracePath string, odScale fl
 	tbl.AddRow("feed errors", pipe.SourceErrors())
 	fmt.Println(tbl)
 	return nil
+}
+
+// replaySource loads the tick section of a .rtk workload trace as a looping
+// replay feed, optionally restricted to one symbol. Looping guarantees the
+// pipeline never starves: every configured job gets a quote.
+func replaySource(path string, symbol int) (*trading.ReplayFeed, error) {
+	tr, err := workload.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ticks := make([]trading.Tick, 0, len(tr.Ticks))
+	for _, t := range tr.Ticks {
+		if symbol >= 0 && t.Symbol != uint32(symbol) {
+			continue
+		}
+		ticks = append(ticks, trading.Tick{Seq: len(ticks), At: t.At, Bid: t.Bid, Ask: t.Ask})
+	}
+	if len(ticks) == 0 {
+		return nil, fmt.Errorf("%s: no ticks for symbol %d", path, symbol)
+	}
+	feed, err := trading.NewReplayFeed(ticks)
+	if err != nil {
+		return nil, err
+	}
+	feed.Loop = true
+	return feed, nil
 }

@@ -4,19 +4,21 @@ import (
 	"net"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"rtseed/internal/trace"
 	"rtseed/internal/trading"
+	"rtseed/internal/workload"
 )
 
 func TestRunShortTrade(t *testing.T) {
-	if err := run(20, "one", "none", "", "", 2.0, 7); err != nil {
+	if err := run(20, "one", "none", "", "", -1, "", 2.0, 7); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPreciseMode(t *testing.T) {
-	if err := run(10, "all", "cpu", "", "", 0.5, 7); err != nil {
+	if err := run(10, "all", "cpu", "", "", -1, "", 0.5, 7); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -26,7 +28,7 @@ func TestRunPreciseMode(t *testing.T) {
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trade.rtt")
 	const ticks = 12
-	if err := run(ticks, "one", "none", "", path, 2.0, 7); err != nil {
+	if err := run(ticks, "one", "none", "", "", -1, path, 2.0, 7); err != nil {
 		t.Fatal(err)
 	}
 	decoded, err := trace.ReadFile(path)
@@ -56,10 +58,10 @@ func TestRunSweep(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run(10, "bogus", "none", "", "", 1, 7); err == nil {
+	if err := run(10, "bogus", "none", "", "", -1, "", 1, 7); err == nil {
 		t.Fatal("bad policy accepted")
 	}
-	if err := run(10, "one", "bogus", "", "", 1, 7); err == nil {
+	if err := run(10, "one", "bogus", "", "", -1, "", 1, 7); err == nil {
 		t.Fatal("bad load accepted")
 	}
 }
@@ -78,7 +80,36 @@ func TestRunAgainstNetworkFeed(t *testing.T) {
 	srv := trading.NewFeedServer(feed)
 	go srv.Serve(ln, 1000)
 	defer srv.Close()
-	if err := run(15, "one", "none", ln.Addr().String(), "", 2.0, 7); err != nil {
+	if err := run(15, "one", "none", ln.Addr().String(), "", -1, "", 2.0, 7); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunReplayTrace trades against a recorded .rtk market: the looping
+// replay must feed every job, and a missing file or absent symbol must fail.
+func TestRunReplayTrace(t *testing.T) {
+	spec, ok := workload.BuiltinSpec("flash-crash")
+	if !ok {
+		t.Fatal("flash-crash builtin missing")
+	}
+	src, err := workload.Compile(spec, workload.CompileConfig{
+		Clients: 8, Seed: 3, Horizon: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "market.rtk")
+	if err := workload.WriteFile(path, src.Trace(40)); err != nil {
+		t.Fatal(err)
+	}
+	// 25 jobs > 40 recorded ticks per symbol once filtered: looping covers it.
+	if err := run(25, "one", "none", "", path, -1, "", 2.0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(5, "one", "none", "", "/nonexistent.rtk", -1, "", 2.0, 7); err == nil {
+		t.Fatal("missing replay file accepted")
+	}
+	if err := run(5, "one", "none", "", path, 1<<20, "", 2.0, 7); err == nil {
+		t.Fatal("absent symbol accepted")
 	}
 }

@@ -1,0 +1,258 @@
+// Command rtseed-workload generates, records, and inspects workload traces.
+//
+// Usage:
+//
+//	rtseed-workload spec -builtin NAME [-o FILE]
+//	rtseed-workload gen [-spec FILE|-builtin NAME] [-clients N] [-seed N]
+//	                    [-horizon D] [-ticks N] -o FILE.rtk
+//	rtseed-workload inspect FILE.rtk
+//	rtseed-workload validate FILE
+//
+// spec writes a builtin spec as editable JSON. gen compiles a spec into its
+// deterministic client population, synthesizes a market tick stream, and
+// records both as a versioned .rtk trace; feeding that file to
+// rtseed-cluster -replay (or rtseed-feedd/-trade -replay for the ticks)
+// reproduces the generating run exactly. inspect prints a trace's metadata
+// and per-window/per-class breakdown; validate checks a spec JSON or .rtk
+// file and exits nonzero on the first problem. Every output is a pure
+// function of the flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rtseed/internal/report"
+	"rtseed/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rtseed-workload:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: rtseed-workload spec|gen|inspect|validate [flags] (builtins: %s)",
+		strings.Join(workload.BuiltinSpecNames(), ", "))
+}
+
+// run dispatches the subcommand; w receives the deterministic output.
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "spec":
+		return runSpec(w, args[1:])
+	case "gen":
+		return runGen(w, args[1:])
+	case "inspect":
+		return runInspect(w, args[1:])
+	case "validate":
+		return runValidate(w, args[1:])
+	}
+	return usage()
+}
+
+// resolveSpec loads -spec FILE or -builtin NAME (exactly one).
+func resolveSpec(specFile, builtin string) (workload.Spec, error) {
+	switch {
+	case specFile != "" && builtin != "":
+		return workload.Spec{}, fmt.Errorf("-spec and -builtin are mutually exclusive")
+	case builtin != "":
+		spec, ok := workload.BuiltinSpec(builtin)
+		if !ok {
+			return workload.Spec{}, fmt.Errorf("unknown builtin %q (want %s)",
+				builtin, strings.Join(workload.BuiltinSpecNames(), ", "))
+		}
+		return spec, nil
+	case specFile != "":
+		f, err := os.Open(specFile)
+		if err != nil {
+			return workload.Spec{}, err
+		}
+		defer f.Close()
+		return workload.ParseSpec(f)
+	}
+	return workload.Spec{}, fmt.Errorf("need -spec FILE or -builtin NAME")
+}
+
+// outWriter opens -o, defaulting to w.
+func outWriter(w io.Writer, path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return w, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func runSpec(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	builtin := fs.String("builtin", "steady", "builtin spec to write")
+	out := fs.String("o", "", "write the JSON spec to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := resolveSpec("", *builtin)
+	if err != nil {
+		return err
+	}
+	dst, closeOut, err := outWriter(w, *out)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteSpec(dst, spec); err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
+}
+
+func runGen(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	specFile := fs.String("spec", "", "workload spec JSON file")
+	builtin := fs.String("builtin", "", "builtin spec name instead of -spec")
+	clients := fs.Int("clients", 10000, "client population size")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	horizon := fs.Duration("horizon", time.Second, "trace horizon")
+	ticks := fs.Int("ticks", 10000, "market ticks to synthesize")
+	out := fs.String("o", "", "write the .rtk trace to this file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen needs -o FILE.rtk")
+	}
+	spec, err := resolveSpec(*specFile, *builtin)
+	if err != nil {
+		return err
+	}
+	src, err := workload.Compile(spec, workload.CompileConfig{
+		Clients: *clients, Seed: *seed, Horizon: *horizon,
+	})
+	if err != nil {
+		return err
+	}
+	tr := src.Trace(*ticks)
+	if err := workload.WriteFile(*out, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s: workload %s, %d clients, %d ticks, seed %d, horizon %v\n",
+		*out, tr.Meta.Name, tr.Meta.Clients, len(tr.Ticks), tr.Meta.Seed, tr.Meta.Horizon)
+	return nil
+}
+
+func runInspect(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("inspect needs one FILE.rtk argument")
+	}
+	tr, err := workload.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m := tr.Meta
+	fmt.Fprintf(w, "# rtseed-workload inspect\n\n")
+	fmt.Fprintf(w, "workload %s: %d clients, %d ticks, %d symbols, seed %d, horizon %v\n\n",
+		m.Name, m.Clients, len(tr.Ticks), m.Symbols, m.Seed, m.Horizon)
+
+	fmt.Fprintf(w, "## clients by class\n\n```\n")
+	type classAgg struct {
+		clients, tasks int
+		util           float64
+	}
+	var perClass [workload.NumClasses]classAgg
+	for _, p := range tr.Clients {
+		a := &perClass[p.Class]
+		a.clients++
+		a.tasks += p.NTasks
+		a.util += p.Util
+	}
+	ct := report.NewTable("class", "clients", "tasks", "mean-util")
+	for c := 0; c < workload.NumClasses; c++ {
+		a := perClass[c]
+		mean := 0.0
+		if a.clients > 0 {
+			mean = a.util / float64(a.clients)
+		}
+		ct.AddRow(workload.Class(c).String(), a.clients, a.tasks, mean)
+	}
+	fmt.Fprintf(w, "%s```\n", ct)
+
+	if len(m.Windows) > 0 {
+		fmt.Fprintf(w, "\n## arrivals by window\n\n```\n")
+		wt := report.NewTable("window", "span", "rate", "arrivals", "ticks")
+		for i, win := range m.Windows {
+			arrivals, ticksIn := 0, 0
+			for _, p := range tr.Clients {
+				if inWindow(p.Arrival, win, i == len(m.Windows)-1) {
+					arrivals++
+				}
+			}
+			for _, t := range tr.Ticks {
+				if inWindow(t.At, win, i == len(m.Windows)-1) {
+					ticksIn++
+				}
+			}
+			wt.AddRow(win.Name, fmt.Sprintf("%v-%v", win.Start, win.End), win.Rate, arrivals, ticksIn)
+		}
+		fmt.Fprintf(w, "%s```\n", wt)
+	}
+	return nil
+}
+
+// inWindow reports whether instant at falls in win; the last window also
+// owns its right edge (the profile clamps at the horizon).
+func inWindow(at time.Duration, win workload.ResolvedWindow, last bool) bool {
+	if at < win.Start {
+		return false
+	}
+	if last {
+		return at <= win.End
+	}
+	return at < win.End
+}
+
+func runValidate(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate needs one FILE argument (.rtk trace or spec JSON)")
+	}
+	path := fs.Arg(0)
+	if strings.HasSuffix(path, ".rtk") {
+		tr, err := workload.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: valid trace (workload %s, %d clients, %d ticks)\n",
+			path, tr.Meta.Name, tr.Meta.Clients, len(tr.Ticks))
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec, err := workload.ParseSpec(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: valid spec (%s, %d cohorts, %d windows)\n",
+		path, spec.Name, len(spec.Cohorts), len(spec.Windows))
+	return nil
+}

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
 	"rtseed/internal/task"
+	"rtseed/internal/workload"
 )
 
 func TestGenerateUUniFast(t *testing.T) {
@@ -209,5 +211,57 @@ func TestRMWPWithOverheads(t *testing.T) {
 	}
 	if _, err := RMWPWithOverheads(nil, b); err == nil {
 		t.Fatal("nil set accepted")
+	}
+}
+
+// TestAcceptanceRatioSpecMode checks the bursty-spec generator: the curve is
+// a pure function of (spec, seed) for any worker count, differs from the
+// legacy uniform generator, and preserves the RMWP <= general-RM ordering.
+func TestAcceptanceRatioSpecMode(t *testing.T) {
+	spec, ok := workload.BuiltinSpec("flash-crash")
+	if !ok {
+		t.Fatal("flash-crash builtin missing")
+	}
+	cfg := AcceptanceConfig{
+		N:            4,
+		SetsPerPoint: 30,
+		Utilizations: []float64{0.3, 0.5, 0.7},
+		Seed:         0xacce,
+		Spec:         &spec,
+		Workers:      1,
+	}
+	want, err := AcceptanceRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	got, err := AcceptanceRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("spec-mode curve depends on worker count:\n%+v\nvs\n%+v", got, want)
+	}
+	for _, p := range want {
+		if p.RMWP > p.GeneralRM {
+			t.Errorf("U=%.1f: RMWP %.2f above general RM %.2f", p.Utilization, p.RMWP, p.GeneralRM)
+		}
+	}
+
+	legacy := cfg
+	legacy.Spec = nil
+	legacy.Workers = 1
+	base, err := AcceptanceRatio(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(base, want) {
+		t.Fatal("spec mode produced the legacy curve exactly; generator not switched")
+	}
+
+	bad := cfg
+	bad.Spec = &workload.Spec{}
+	if _, err := AcceptanceRatio(bad); err == nil {
+		t.Fatal("invalid spec accepted")
 	}
 }

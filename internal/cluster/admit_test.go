@@ -7,6 +7,7 @@ import (
 
 	"rtseed/internal/machine"
 	"rtseed/internal/task"
+	"rtseed/internal/workload"
 )
 
 // TestAnalyticalAdmissionImpliesEmpiricalMissFree is the soundness property
@@ -132,7 +133,7 @@ func TestGenerateClientDeterministic(t *testing.T) {
 				t.Fatalf("client %d task %d differs", id, i)
 			}
 		}
-		lo, hi := a.Class.periodRange()
+		lo, hi := workload.ClassPeriodRange(workload.Class(a.Class))
 		for _, tk := range a.Set.Tasks {
 			if tk.Period < lo || tk.Period > hi {
 				t.Fatalf("client %d (%v): period %v outside [%v, %v]", id, a.Class, tk.Period, lo, hi)

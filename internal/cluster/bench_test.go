@@ -106,7 +106,7 @@ func BenchmarkClusterSingleMachine(b *testing.B) {
 	b.Run("direct", func(b *testing.B) {
 		var events uint64
 		for i := 0; i < b.N; i++ {
-			s, err := newSim(0, &plan.cfg, plan.placed[0])
+			s, err := newSim(0, &plan.cfg, plan.placed[0], nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -2,79 +2,44 @@ package cluster
 
 import (
 	"fmt"
-	"time"
 
-	"rtseed/internal/engine"
 	"rtseed/internal/task"
+	"rtseed/internal/workload"
 )
 
 // Class buckets clients by the latency profile of their order flow. The
 // classes differ in period range and utilization appetite; admission and
-// service quality are reported per class.
+// service quality are reported per class. Values mirror workload.Class
+// one-for-one, so conversion is by value.
 type Class uint8
 
 const (
 	// ClassHFT is high-frequency flow: 5-20ms periods, the heaviest
 	// per-client utilization.
-	ClassHFT Class = iota
+	ClassHFT Class = Class(workload.ClassHFT)
 	// ClassAlgo is algorithmic execution: 20-100ms periods.
-	ClassAlgo
+	ClassAlgo Class = Class(workload.ClassAlgo)
 	// ClassRetail is retail order routing: 100ms-1s periods, light
 	// utilization.
-	ClassRetail
+	ClassRetail Class = Class(workload.ClassRetail)
 )
 
 // NumClasses sizes arrays indexed by Class.
-const NumClasses = int(ClassRetail) + 1
+const NumClasses = workload.NumClasses
 
 // Classes lists the client classes in reporting order.
 func Classes() []Class { return []Class{ClassHFT, ClassAlgo, ClassRetail} }
 
 // String implements fmt.Stringer with the report labels.
-func (c Class) String() string {
-	switch c {
-	case ClassHFT:
-		return "hft"
-	case ClassAlgo:
-		return "algo"
-	case ClassRetail:
-		return "retail"
-	}
-	return fmt.Sprintf("class%d", uint8(c))
-}
+func (c Class) String() string { return workload.Class(c).String() }
 
-// periodRange bounds the class's log-uniform period distribution.
-func (c Class) periodRange() (lo, hi time.Duration) {
-	switch c {
-	case ClassHFT:
-		return 5 * time.Millisecond, 20 * time.Millisecond
-	case ClassAlgo:
-		return 20 * time.Millisecond, 100 * time.Millisecond
-	case ClassRetail:
-		return 100 * time.Millisecond, time.Second
-	}
-	panic("cluster: invalid class")
-}
-
-// utilizationRange bounds the class's total-utilization draw.
-func (c Class) utilizationRange() (lo, hi float64) {
-	switch c {
-	case ClassHFT:
-		return 0.08, 0.45
-	case ClassAlgo:
-		return 0.05, 0.35
-	case ClassRetail:
-		return 0.02, 0.25
-	}
-	panic("cluster: invalid class")
-}
-
-// NumSymbols is the size of the simulated symbol universe clients trade in;
+// NumSymbols is the size of the default simulated symbol universe;
 // SymbolAffinity routes by symbol % Machines.
-const NumSymbols = 4096
+const NumSymbols = workload.DefaultSymbols
 
 // Client is one tenant offered to the cluster: a small periodic task set
-// (1-3 tasks) in one latency class, trading one symbol.
+// (1-3 tasks in the builtin population) in one latency class, trading one
+// symbol.
 type Client struct {
 	ID     int
 	Class  Class
@@ -82,70 +47,14 @@ type Client struct {
 	Set    *task.Set
 }
 
-// clientParams are the cheap-to-draw parameters of a client — everything
-// the router and the admission watermark need before paying for task-set
-// generation.
-type clientParams struct {
-	class   Class
-	symbol  uint32
-	n       int
-	util    float64
-	genSeed uint64
-}
-
-// mix64 derives an independent stream seed from (seed, n): SplitMix64's
-// output function over the golden-ratio sequence, the same construction
-// engine.Rand uses internally.
-func mix64(seed, n uint64) uint64 {
-	z := seed + 0x9e3779b97f4a7c15*(n+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// drawClient returns client id's parameters under seed. The population is
-// 20% HFT, 30% algo, 50% retail.
-func drawClient(seed uint64, id int) clientParams {
-	rng := engine.NewRand(mix64(seed, uint64(id)))
-	var p clientParams
-	roll := rng.Float64()
-	switch {
-	case roll < 0.2:
-		p.class = ClassHFT
-	case roll < 0.5:
-		p.class = ClassAlgo
-	default:
-		p.class = ClassRetail
-	}
-	p.symbol = uint32(rng.Intn(NumSymbols))
-	p.n = 1 + rng.Intn(3)
-	lo, hi := p.class.utilizationRange()
-	p.util = lo + rng.Float64()*(hi-lo)
-	p.genSeed = rng.Uint64()
-	return p
-}
-
-// materialize generates the client's task set from its parameters. Task
-// names carry the client id ("c12.0"), keeping names unique fleet-wide.
-func materialize(p clientParams, id int) (Client, error) {
-	lo, hi := p.class.periodRange()
-	set, err := task.Generate(task.GenConfig{
-		N:                p.n,
-		TotalUtilization: p.util,
-		MinPeriod:        lo,
-		MaxPeriod:        hi,
-		Seed:             p.genSeed,
-		NamePrefix:       fmt.Sprintf("c%d.", id),
-	})
-	if err != nil {
-		return Client{}, err
-	}
-	return Client{ID: id, Class: p.class, Symbol: p.symbol, Set: set}, nil
-}
-
-// GenerateClient returns client id of seed's deterministic population: the
-// same (seed, id) always yields the same client, independent of every other
-// configuration knob.
+// GenerateClient returns client id of seed's deterministic builtin
+// population: the same (seed, id) always yields the same client, independent
+// of every other configuration knob. The draw is workload.Builtin's, which
+// preserves the population this layer shipped with byte-for-byte.
 func GenerateClient(seed uint64, id int) (Client, error) {
-	return materialize(drawClient(seed, id), id)
+	c, err := workload.Materialize(workload.NewBuiltin(seed, id+1).Params(id))
+	if err != nil {
+		return Client{}, fmt.Errorf("cluster: client %d: %w", id, err)
+	}
+	return Client{ID: c.ID, Class: Class(c.Class), Symbol: c.Symbol, Set: c.Set}, nil
 }

@@ -33,6 +33,7 @@ import (
 	"rtseed/internal/machine"
 	"rtseed/internal/sweep"
 	"rtseed/internal/task"
+	"rtseed/internal/workload"
 )
 
 // DefaultOverheadPerPart is the admission-time inflation of each mandatory
@@ -60,7 +61,13 @@ type Config struct {
 	Load machine.Load
 	// Policy orders the machines offered to each client (default FirstFit).
 	Policy Policy
-	// Clients is the number of offered client task sets (default 10000).
+	// Source is the offered client population. Nil selects the builtin
+	// steady population of Clients clients (workload.NewBuiltin); a compiled
+	// spec or a replayed trace plugs in here. When Source is non-nil,
+	// Clients is overridden with Source.Len().
+	Source workload.Source
+	// Clients is the number of offered client task sets (default 10000;
+	// ignored when Source is set).
 	Clients int
 	// Seed makes the client population and every machine's cost jitter a
 	// pure function of the configuration.
@@ -97,7 +104,9 @@ func (c *Config) fillDefaults() {
 	if c.Policy == 0 {
 		c.Policy = FirstFit
 	}
-	if c.Clients == 0 {
+	if c.Source != nil {
+		c.Clients = c.Source.Len()
+	} else if c.Clients == 0 {
 		c.Clients = 10000
 	}
 	if c.Horizon == 0 {
@@ -213,9 +222,37 @@ type EpochReport struct {
 	Signals []MachineSignal
 }
 
+// WindowStats aggregates one workload rate window across the fleet: the
+// admission funnel of the clients arriving inside it and the service quality
+// of the jobs released inside it. Only windowed Sources (compiled specs,
+// replayed traces) produce entries; the builtin population is unwindowed.
+type WindowStats struct {
+	Name       string
+	Start, End time.Duration
+	// Rate is the window's relative arrival-rate multiplier from the spec.
+	Rate float64
+	// Offered and Admitted count clients whose arrival instant falls in the
+	// window.
+	Offered  int
+	Admitted int
+	// Jobs and Misses count jobs released inside the window.
+	Jobs   int
+	Misses int
+}
+
+// MissRate returns misses/jobs (0 when no jobs completed).
+func (w WindowStats) MissRate() float64 {
+	if w.Jobs == 0 {
+		return 0
+	}
+	return float64(w.Misses) / float64(w.Jobs)
+}
+
 // Result is the outcome of a cluster run. The admission half is filled by
 // NewPlan; the simulation half by Simulate.
 type Result struct {
+	// Workload names the client population (Source.Name).
+	Workload string
 	// Offered, Admitted and AdmittedTasks describe the admission funnel.
 	Offered       int
 	Admitted      int
@@ -224,6 +261,9 @@ type Result struct {
 	MachinesUsed int
 	// PerClass indexes ClassStats by Class.
 	PerClass [NumClasses]ClassStats
+	// Windows has one entry per workload rate window, in time order; empty
+	// for unwindowed populations.
+	Windows []WindowStats
 	// Machines has one entry per machine, in index order.
 	Machines []MachineResult
 	// Epochs has one entry per barrier, in time order.
@@ -248,6 +288,7 @@ func (r *Result) AdmissionRatio() float64 {
 // replays one admission under different worker counts).
 type Plan struct {
 	cfg      Config
+	src      workload.Source
 	machines []*machineState
 	placed   [][]placedTask // per machine, admission order
 	res      Result         // admission half
@@ -258,6 +299,10 @@ type placedTask struct {
 	t     task.Task
 	class Class
 	core  int
+	// arrival and lifetime carry the owning client's activity interval into
+	// the simulation (zero lifetime: active until the horizon).
+	arrival  time.Duration
+	lifetime time.Duration
 }
 
 // Config returns the plan's configuration with defaults resolved.
@@ -283,23 +328,35 @@ func NewPlan(cfg Config) (*Plan, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	p := &Plan{cfg: cfg}
+	p := &Plan{cfg: cfg, src: cfg.Source}
+	if p.src == nil {
+		p.src = workload.NewBuiltin(cfg.Seed, cfg.Clients)
+	}
 	p.machines = make([]*machineState, cfg.Machines)
 	for i := range p.machines {
 		p.machines[i] = newMachineState(cfg.Topology.Cores)
 	}
 	p.placed = make([][]placedTask, cfg.Machines)
+	p.res.Workload = p.src.Name()
+	wins := p.src.Windows()
+	for _, w := range wins {
+		p.res.Windows = append(p.res.Windows, WindowStats{Name: w.Name, Start: w.Start, End: w.End, Rate: w.Rate})
+	}
 
 	order := make([]int, 0, cfg.Machines)
 	minRejectU := math.Inf(1)
 	for id := 0; id < cfg.Clients; id++ {
-		params := drawClient(cfg.Seed, id)
-		cs := &p.res.PerClass[params.class]
+		params := p.src.Params(id)
+		cs := &p.res.PerClass[Class(params.Class)]
 		cs.Offered++
-		if params.util >= minRejectU {
+		wi := windowIndex(wins, params.Arrival)
+		if wi >= 0 {
+			p.res.Windows[wi].Offered++
+		}
+		if params.Util >= minRejectU {
 			continue
 		}
-		client, err := materialize(params, id)
+		client, err := p.src.Materialize(params)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: client %d: %w", id, err)
 		}
@@ -311,15 +368,21 @@ func NewPlan(cfg Config) (*Plan, error) {
 				continue
 			}
 			for k, t := range client.Set.Tasks {
-				p.placed[mi] = append(p.placed[mi], placedTask{t: t, class: params.class, core: cores[k]})
+				p.placed[mi] = append(p.placed[mi], placedTask{
+					t: t, class: Class(params.Class), core: cores[k],
+					arrival: params.Arrival, lifetime: params.Lifetime,
+				})
 			}
 			cs.Admitted++
 			cs.Tasks += client.Set.Len()
+			if wi >= 0 {
+				p.res.Windows[wi].Admitted++
+			}
 			admitted = true
 			break
 		}
-		if !admitted && params.util < minRejectU {
-			minRejectU = params.util
+		if !admitted && params.Util < minRejectU {
+			minRejectU = params.Util
 		}
 	}
 
@@ -343,10 +406,22 @@ func NewPlan(cfg Config) (*Plan, error) {
 	return p, nil
 }
 
+// windowIndex returns the index of the window containing instant at, or -1
+// when the population is unwindowed. Instants at or past the last window's
+// start (the profile clamps at the horizon) land in the last window.
+func windowIndex(wins []workload.ResolvedWindow, at time.Duration) int {
+	for i := len(wins) - 1; i >= 0; i-- {
+		if at >= wins[i].Start {
+			return i
+		}
+	}
+	return len(wins) - 1
+}
+
 // order fills buf with machine indexes in the policy's preference order.
 // Ties break toward the lower index, so the order — and with it the whole
 // placement — is a pure function of the admission history.
-func (p *Plan) order(c clientParams, buf []int) []int {
+func (p *Plan) order(c workload.ClientParams, buf []int) []int {
 	buf = buf[:0]
 	m := len(p.machines)
 	switch p.cfg.Policy {
@@ -359,7 +434,7 @@ func (p *Plan) order(c clientParams, buf []int) []int {
 	case LeastLoaded:
 		buf = sortedByKey(buf, m, func(i int) float64 { return float64(p.machines[i].clients) })
 	case SymbolAffinity:
-		start := int(c.symbol) % m
+		start := int(c.Symbol) % m
 		for i := 0; i < m; i++ {
 			buf = append(buf, (start+i)%m)
 		}
@@ -390,10 +465,18 @@ func sortedByKey(buf []int, n int, key func(int) float64) []int {
 func (p *Plan) Simulate() (*Result, error) {
 	res := p.res
 	res.Machines = append([]MachineResult(nil), p.res.Machines...)
+	res.Windows = append([]WindowStats(nil), p.res.Windows...)
+
+	// winEnds is the shared read-only window boundary table bodies attribute
+	// job releases against.
+	winEnds := make([]time.Duration, len(res.Windows))
+	for i, w := range res.Windows {
+		winEnds[i] = w.End
+	}
 
 	sims := make([]*sim, len(p.machines))
 	for i := range sims {
-		s, err := newSim(i, &p.cfg, p.placed[i])
+		s, err := newSim(i, &p.cfg, p.placed[i], winEnds)
 		if err != nil {
 			return nil, err
 		}
@@ -442,6 +525,10 @@ func (p *Plan) Simulate() (*Result, error) {
 			mr.Misses += c.Misses
 			res.PerClass[class].Jobs += c.Jobs
 			res.PerClass[class].Misses += c.Misses
+		}
+		for w := range s.winCounts {
+			res.Windows[w].Jobs += s.winCounts[w].Jobs
+			res.Windows[w].Misses += s.winCounts[w].Misses
 		}
 		res.Events += mr.Events
 		res.Jobs += mr.Jobs

@@ -11,6 +11,7 @@ import (
 	"rtseed/internal/engine"
 	"rtseed/internal/machine"
 	"rtseed/internal/trace"
+	"rtseed/internal/workload"
 )
 
 func testConfig(workers int) Config {
@@ -127,7 +128,7 @@ func TestClusterOfOneMatchesDirectKernel(t *testing.T) {
 
 	// Direct runner: same placement, same seed-derived machine, one
 	// uninterrupted advance to the horizon.
-	direct, err := newSim(0, &plan.cfg, plan.placed[0])
+	direct, err := newSim(0, &plan.cfg, plan.placed[0], nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,20 +204,20 @@ func TestRoutingPolicies(t *testing.T) {
 
 	cases := []struct {
 		policy Policy
-		params clientParams
+		params workload.ClientParams
 		want   []int
 	}{
-		{FirstFit, clientParams{}, []int{0, 1, 2}},
-		{WorstFit, clientParams{}, []int{1, 2, 0}},
-		{LeastLoaded, clientParams{}, []int{0, 2, 1}},
-		{SymbolAffinity, clientParams{symbol: 4}, []int{1, 2, 0}}, // 4 % 3 == 1
-		{SymbolAffinity, clientParams{symbol: 5}, []int{2, 0, 1}},
+		{FirstFit, workload.ClientParams{}, []int{0, 1, 2}},
+		{WorstFit, workload.ClientParams{}, []int{1, 2, 0}},
+		{LeastLoaded, workload.ClientParams{}, []int{0, 2, 1}},
+		{SymbolAffinity, workload.ClientParams{Symbol: 4}, []int{1, 2, 0}}, // 4 % 3 == 1
+		{SymbolAffinity, workload.ClientParams{Symbol: 5}, []int{2, 0, 1}},
 	}
 	for _, c := range cases {
 		p.cfg.Policy = c.policy
 		got := p.order(c.params, nil)
 		if !reflect.DeepEqual(got, c.want) {
-			t.Errorf("%v(symbol=%d): got %v, want %v", c.policy, c.params.symbol, got, c.want)
+			t.Errorf("%v(symbol=%d): got %v, want %v", c.policy, c.params.Symbol, got, c.want)
 		}
 	}
 }

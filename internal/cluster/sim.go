@@ -11,12 +11,20 @@ import (
 	"rtseed/internal/machine"
 	"rtseed/internal/task"
 	"rtseed/internal/trace"
+	"rtseed/internal/workload"
 )
 
 // classCount tallies one class's completed jobs and deadline misses on one
 // machine. Bodies mutate it from the machine's own event loop; cross-machine
 // reads happen only at epoch barriers.
 type classCount struct {
+	Jobs   int
+	Misses int
+}
+
+// windowCount tallies one workload window's jobs and misses on one machine.
+// Like classCount, bodies mutate it only from the machine's own event loop.
+type windowCount struct {
 	Jobs   int
 	Misses int
 }
@@ -33,6 +41,9 @@ type sim struct {
 	tracer   *trace.Tracer
 	file     *os.File
 	counters [NumClasses]classCount
+	// winCounts has one tally per workload window (empty when unwindowed);
+	// bodies attribute each job by its release instant.
+	winCounts []windowCount
 
 	prevEnd  engine.Time
 	prevBusy time.Duration
@@ -44,15 +55,18 @@ type sim struct {
 // pinned continuation thread per placed task. All of a core's tasks run on
 // the core's first hardware thread at their RM band priority, matching the
 // uniprocessor analysis that admitted them.
-func newSim(index int, cfg *Config, placed []placedTask) (*sim, error) {
+func newSim(index int, cfg *Config, placed []placedTask, winEnds []time.Duration) (*sim, error) {
 	mach, err := machine.New(cfg.Topology, cfg.Load, machine.DefaultCostModel(),
-		mix64(cfg.Seed, 0x10000+uint64(index)))
+		workload.Mix64(cfg.Seed, 0x10000+uint64(index)))
 	if err != nil {
 		return nil, err
 	}
 	eng := engine.New()
 	kern := kernel.New(eng, mach)
 	s := &sim{index: index, eng: eng, kern: kern, topo: cfg.Topology}
+	if len(winEnds) > 0 {
+		s.winCounts = make([]windowCount, len(winEnds))
+	}
 	if cfg.TraceDir != "" {
 		f, err := os.Create(filepath.Join(cfg.TraceDir, TraceFileName(index)))
 		if err != nil {
@@ -93,9 +107,13 @@ func newSim(index int, cfg *Config, placed []placedTask) (*sim, error) {
 			}, &clusterBody{
 				kern:      kern,
 				cnt:       &s.counters[pt.class],
+				winEnds:   winEnds,
+				winCounts: s.winCounts,
 				period:    pt.t.Period,
 				mandatory: pt.t.Mandatory,
 				windup:    pt.t.Windup,
+				start:     engine.At(pt.arrival),
+				stop:      stopAt(pt.arrival, pt.lifetime),
 			})
 			if err != nil {
 				return nil, err
@@ -107,6 +125,16 @@ func newSim(index int, cfg *Config, placed []placedTask) (*sim, error) {
 		th.Start()
 	}
 	return s, nil
+}
+
+// stopAt converts a client's activity interval into the instant its tasks
+// stop releasing jobs; zero lifetime means active until the horizon, encoded
+// as engine.Time zero (no stop).
+func stopAt(arrival, lifetime time.Duration) engine.Time {
+	if lifetime == 0 {
+		return 0
+	}
+	return engine.At(arrival + lifetime)
 }
 
 // TraceFileName is the per-machine trace file name under Config.TraceDir.
@@ -189,14 +217,24 @@ const (
 // once at sim build; Step allocates nothing, so per-machine steady state
 // matches the many-task executor's 0 allocs/op.
 type clusterBody struct {
-	kern      *kernel.Kernel
-	cnt       *classCount
+	kern *kernel.Kernel
+	cnt  *classCount
+	// winEnds/winCounts attribute each job to the workload window containing
+	// its release; wi is the body's monotone window cursor (releases only
+	// move forward in time).
+	winEnds   []time.Duration
+	winCounts []windowCount
+	wi        int
 	period    time.Duration
 	mandatory time.Duration
 	windup    time.Duration
-	release   engine.Time
-	job       int
-	pc        clusterPC
+	// start is the first release (the client's arrival); stop, when nonzero,
+	// ends the client's job stream (arrival + lifetime).
+	start   engine.Time
+	stop    engine.Time
+	release engine.Time
+	job     int
+	pc      clusterPC
 }
 
 //rtseed:noalloc
@@ -205,10 +243,13 @@ func (b *clusterBody) Step(c *kernel.TCB, r kernel.Resume) kernel.Next {
 	switch b.pc {
 	case cpcRelease:
 		if r.First {
-			b.release = c.Now()
+			b.release = b.start
 		} else {
 			b.finishJob(c)
 			b.release = b.release.Add(b.period)
+			if b.stop != 0 && b.release >= b.stop {
+				return kernel.Done()
+			}
 		}
 		b.pc = cpcMandatory
 		return kernel.SleepUntil(b.release)
@@ -233,12 +274,23 @@ func (b *clusterBody) finishJob(c *kernel.TCB) {
 	finish := c.Now()
 	deadline := b.release.Add(b.period)
 	b.cnt.Jobs++
+	missed := trace.MissedDeadline(finish.Duration(), deadline.Duration())
 	b.emit(c, finish, trace.KindJobEnd, uint64(b.job))
-	if trace.MissedDeadline(finish.Duration(), deadline.Duration()) {
+	if missed {
 		b.cnt.Misses++
 		b.emit(c, finish, trace.KindDeadlineMiss, trace.PackMiss(b.job, finish.Sub(deadline)))
 	} else {
 		b.emit(c, finish, trace.KindDeadlineMet, uint64(b.job))
+	}
+	if len(b.winCounts) > 0 {
+		rel := b.release.Duration()
+		for b.wi+1 < len(b.winEnds) && rel >= b.winEnds[b.wi] {
+			b.wi++
+		}
+		b.winCounts[b.wi].Jobs++
+		if missed {
+			b.winCounts[b.wi].Misses++
+		}
 	}
 	b.job++
 }

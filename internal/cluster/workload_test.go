@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"rtseed/internal/machine"
+	"rtseed/internal/workload"
+)
+
+// specConfig is a small bursty-spec cluster configuration shared by the
+// workload integration tests.
+func specConfig(t *testing.T, workers int) Config {
+	t.Helper()
+	spec, ok := workload.BuiltinSpec("flash-crash")
+	if !ok {
+		t.Fatal("flash-crash builtin missing")
+	}
+	src, err := workload.Compile(spec, workload.CompileConfig{
+		Clients: 600, Seed: 11, Horizon: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Machines: 2,
+		Topology: machine.Topology{Cores: 4, ThreadsPerCore: 2},
+		Source:   src,
+		Seed:     11,
+		Horizon:  200 * time.Millisecond,
+		Workers:  workers,
+	}
+}
+
+// TestSpecSourceDeterministicAcrossWorkers extends the byte-identity
+// contract to windowed spec populations: the full Result — window tallies
+// included — must not depend on the worker count.
+func TestSpecSourceDeterministicAcrossWorkers(t *testing.T) {
+	var ref *Result
+	for _, workers := range []int{1, 3, 8} {
+		res, err := Run(specConfig(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Fatalf("result differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestSpecSourceWindowTallies checks the per-window funnel and service
+// tallies are consistent with the totals and that the crash window's offered
+// spike dwarfs the calm window's.
+func TestSpecSourceWindowTallies(t *testing.T) {
+	res, err := Run(specConfig(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "flash-crash" {
+		t.Errorf("workload name %q", res.Workload)
+	}
+	if len(res.Windows) != 4 {
+		t.Fatalf("%d windows, want 4", len(res.Windows))
+	}
+	offered, admitted, jobs, misses := 0, 0, 0, 0
+	for _, w := range res.Windows {
+		offered += w.Offered
+		admitted += w.Admitted
+		jobs += w.Jobs
+		misses += w.Misses
+	}
+	if offered != res.Offered || admitted != res.Admitted {
+		t.Errorf("window funnel sums %d/%d, want %d/%d", offered, admitted, res.Offered, res.Admitted)
+	}
+	if jobs != res.Jobs || misses != res.Misses {
+		t.Errorf("window service sums %d/%d, want %d/%d", jobs, misses, res.Jobs, res.Misses)
+	}
+	calm, crash := res.Windows[0], res.Windows[1]
+	if crash.Name != "crash" || calm.Name != "calm" {
+		t.Fatalf("window order %q, %q", calm.Name, crash.Name)
+	}
+	// The crash window has 12x the rate over less than half the calm span:
+	// its offered arrivals must clearly exceed calm's.
+	if crash.Offered <= calm.Offered {
+		t.Errorf("crash window offered %d <= calm %d: spike not visible", crash.Offered, calm.Offered)
+	}
+}
+
+// TestReplayReproducesRun records the spec population to a .rtk trace,
+// replays it through a fresh cluster, and requires the full Result —
+// admission funnel, per-class and per-window service, epochs — to match the
+// generating run exactly.
+func TestReplayReproducesRun(t *testing.T) {
+	cfg := specConfig(t, 0)
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := cfg.Source.(*workload.SpecSource)
+	var buf bytes.Buffer
+	if err := workload.Write(&buf, src.Trace(100)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.Source = workload.NewReplay(tr)
+	cfg2.Seed = tr.Meta.Seed
+	cfg2.Horizon = tr.Meta.Horizon
+	got, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != ref.Workload {
+		t.Errorf("replay workload %q, want %q", got.Workload, ref.Workload)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("replayed run differs from generating run:\nref: %+v\ngot: %+v", ref, got)
+	}
+}
+
+// TestLifetimeBoundsJobs checks client lifetimes stop job release: a
+// population of short-lived clients must complete far fewer jobs than the
+// same population with unlimited lifetimes.
+func TestLifetimeBoundsJobs(t *testing.T) {
+	mk := func(lifetime workload.Duration) *Result {
+		spec := workload.Spec{
+			Name: "lifetimes",
+			Cohorts: []workload.Cohort{{
+				Name:     "hft",
+				Class:    workload.ClassHFT,
+				Weight:   1,
+				Arrival:  workload.Dist{Process: workload.ProcPoisson},
+				Tasks:    [2]int{1, 1},
+				Util:     [2]float64{0.1, 0.2},
+				Period:   [2]workload.Duration{workload.Duration(5 * time.Millisecond), workload.Duration(10 * time.Millisecond)},
+				Lifetime: [2]workload.Duration{lifetime, lifetime},
+			}},
+		}
+		src, err := workload.Compile(spec, workload.CompileConfig{
+			Clients: 40, Seed: 4, Horizon: 400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Machines: 1,
+			Topology: machine.Topology{Cores: 4, ThreadsPerCore: 1},
+			Source:   src,
+			Seed:     4,
+			Horizon:  400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unlimited := mk(0)
+	short := mk(workload.Duration(20 * time.Millisecond))
+	if unlimited.Admitted == 0 || short.Admitted == 0 {
+		t.Fatal("admission rejected everything; test config too tight")
+	}
+	if short.Jobs*2 >= unlimited.Jobs {
+		t.Errorf("short lifetimes completed %d jobs vs %d unlimited: lifetime not enforced",
+			short.Jobs, unlimited.Jobs)
+	}
+}
+
+// TestBuiltinPathUnchanged pins the nil-Source default to the builtin
+// population: same funnel as an explicit workload.NewBuiltin source and no
+// window table.
+func TestBuiltinPathUnchanged(t *testing.T) {
+	base := Config{
+		Machines: 2,
+		Topology: machine.Topology{Cores: 4, ThreadsPerCore: 2},
+		Clients:  300,
+		Seed:     9,
+		Horizon:  100 * time.Millisecond,
+	}
+	def, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Workload != "builtin" {
+		t.Errorf("default workload %q", def.Workload)
+	}
+	if len(def.Windows) != 0 {
+		t.Errorf("builtin population has %d windows, want none", len(def.Windows))
+	}
+	explicit := base
+	explicit.Source = workload.NewBuiltin(base.Seed, base.Clients)
+	exp, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, exp) {
+		t.Fatal("nil Source differs from explicit builtin Source")
+	}
+}

@@ -32,7 +32,7 @@ var Analyzer = &lint.Analyzer{
 var scopedPackages = []string{
 	"engine", "kernel", "overhead", "analysis", "sweep", "sched",
 	"task", "machine", "partition", "assign", "rt", "core", "trace",
-	"cluster",
+	"cluster", "workload",
 }
 
 // InScope reports whether the determinism contract applies to importPath.
@@ -78,6 +78,8 @@ func checkCall(pass *lint.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
 		msg = "blocks on the host clock; simulation code must use virtual engine.Time"
 	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !strings.HasPrefix(name, "New"):
 		msg = "uses the global math/rand source; use a seeded engine.Rand (or rand.New) so runs reproduce"
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && strings.HasPrefix(name, "New") && clockSeeded(pass, call):
+		msg = "takes a wall-clock seed; every run draws a different population — thread an explicit seed instead"
 	case pkgPath == "os" && envFuncs[name]:
 		msg = "reads the process environment; branching on it breaks seed-reproducibility"
 	default:
@@ -87,4 +89,27 @@ func checkCall(pass *lint.Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
 		return
 	}
 	pass.Reportf(call.Pos(), "call to %s.%s %s", pkgPath, name, msg)
+}
+
+// clockSeeded reports whether any argument of a rand constructor call
+// (rand.New, rand.NewSource, ...) syntactically contains a clock read —
+// the rand.NewSource(time.Now().UnixNano()) idiom. The sampler itself is
+// local and seeded, but the seed destroys reproducibility, so the
+// constructor is the right place to flag it.
+func clockSeeded(pass *lint.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if fn := pass.CalleeFunc(inner); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
 }

@@ -18,6 +18,7 @@ func TestScope(t *testing.T) {
 		"rtseed/internal/rt":          true,
 		"rtseed/internal/sweep":       true,
 		"rtseed/internal/trace":       true,
+		"rtseed/internal/workload":    true,
 		"rtseed/internal/lint":        false,
 		"rtseed/internal/trading":     false,
 		"rtseed/internal/report":      false,

@@ -58,3 +58,28 @@ func waivedLine(d time.Duration) {
 func waivedFunc(d time.Duration) *time.Timer {
 	return time.NewTimer(d)
 }
+
+// Clean sampling idiom: a seeded inverse-CDF sampler is a pure function of
+// (seed, shape) — the workload generator's pattern.
+func inverseCDF(seed int64, shape float64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	u := r.Float64()
+	x := 1.0
+	for i := 0; i < 8; i++ { // fixed-point refinement, still deterministic
+		x = u * shape * x
+	}
+	return x
+}
+
+// Flagged sampling idiom: drawing inter-arrival gaps from the process-global
+// source ties the workload to run order.
+func globalGap() float64 {
+	return rand.ExpFloat64() // want `global math/rand`
+}
+
+// Flagged sampling idiom: a wall-clock seed makes every run a different
+// population even though the source itself is local.
+func clockSeeded(n int) int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock seed`
+	return r.Intn(n)
+}

@@ -117,3 +117,8 @@ func (f *Feed) Take(n int) []Tick {
 	}
 	return out
 }
+
+// NextTick implements Source: the generator never errors.
+func (f *Feed) NextTick() (Tick, error) { return f.Next(), nil }
+
+var _ Source = (*Feed)(nil)

@@ -17,10 +17,11 @@ import (
 // trading pipeline can run against a remote quote source exactly as it runs
 // against the in-process generator.
 
-// FeedServer serves a Feed's ticks to every connecting client. Each client
+// FeedServer serves a tick Source to every connecting client — the
+// in-process generator, a recorded replay, or any other Source. Each client
 // receives the stream from its connection time onward.
 type FeedServer struct {
-	feed *Feed
+	src Source
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -29,9 +30,9 @@ type FeedServer struct {
 	wg      sync.WaitGroup
 }
 
-// NewFeedServer wraps a feed for serving.
-func NewFeedServer(feed *Feed) *FeedServer {
-	return &FeedServer{feed: feed, clients: make(map[net.Conn]struct{})}
+// NewFeedServer wraps a tick source for serving.
+func NewFeedServer(src Source) *FeedServer {
+	return &FeedServer{src: src, clients: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts clients on ln until Close is called. Each accepted client
@@ -79,8 +80,12 @@ func (s *FeedServer) stream(w io.Writer, count int) {
 	enc := json.NewEncoder(bw)
 	for i := 0; i < count; i++ {
 		s.mu.Lock()
-		t := s.feed.Next()
+		t, err := s.src.NextTick()
 		s.mu.Unlock()
+		if err != nil {
+			// Source exhausted (e.g. a finite replay): end the stream.
+			return
+		}
 		if enc.Encode(tickWire{Seq: t.Seq, AtNs: int64(t.At), Bid: t.Bid, Ask: t.Ask}) != nil {
 			return
 		}

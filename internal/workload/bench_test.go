@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// BenchmarkWorkloadGen measures spec compilation: drawing the full client
+// parameter table (per-client streams, distribution sampling, the arrival
+// fold) for a bursty spec.
+func BenchmarkWorkloadGen(b *testing.B) {
+	spec, _ := BuiltinSpec("flash-crash")
+	const clients = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src, err := Compile(spec, CompileConfig{Clients: clients, Seed: uint64(i + 1), Horizon: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src.Len() != clients {
+			b.Fatal("bad population")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/clients, "ns/client")
+}
+
+// BenchmarkWorkloadReplay measures the record/replay path: encoding a
+// compiled trace and decoding it back with full validation.
+func BenchmarkWorkloadReplay(b *testing.B) {
+	spec, _ := BuiltinSpec("flash-crash")
+	src, err := Compile(spec, CompileConfig{Clients: 10000, Seed: 1, Horizon: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := src.Trace(10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back.Clients) != len(tr.Clients) {
+			b.Fatal("bad decode")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+// BuiltinSpecNames lists the specs shipped in code, in listing order.
+func BuiltinSpecNames() []string { return []string{"steady", "flash-crash", "open-close"} }
+
+// BuiltinSpec returns a shipped spec by name. "steady" is the declarative
+// form of the builtin population (Poisson arrivals, flat rate); the other
+// two are the bursty regimes the steady grid can't discriminate policies
+// on: "flash-crash" concentrates a 12x spike of short-lived heavy HFT flow
+// mid-horizon, "open-close" books the day's volume into the open and close
+// windows.
+func BuiltinSpec(name string) (Spec, bool) {
+	switch name {
+	case "steady":
+		return steadySpec(), true
+	case "flash-crash":
+		return flashCrashSpec(), true
+	case "open-close":
+		return openCloseSpec(), true
+	}
+	return Spec{}, false
+}
+
+// builtinCohort is the spec form of one builtin class population.
+func builtinCohort(name string, class Class, weight float64) Cohort {
+	plo, phi := ClassPeriodRange(class)
+	ulo, uhi := ClassUtilRange(class)
+	return Cohort{
+		Name:    name,
+		Class:   class,
+		Weight:  weight,
+		Arrival: Dist{Process: ProcPoisson},
+		Tasks:   [2]int{1, 3},
+		Util:    [2]float64{ulo, uhi},
+		Period:  [2]Duration{Duration(plo), Duration(phi)},
+	}
+}
+
+func steadySpec() Spec {
+	return Spec{
+		Name: "steady",
+		Cohorts: []Cohort{
+			builtinCohort("hft", ClassHFT, 0.2),
+			builtinCohort("algo", ClassAlgo, 0.3),
+			builtinCohort("retail", ClassRetail, 0.5),
+		},
+	}.withDefaults()
+}
+
+func flashCrashSpec() Spec {
+	// The crash cohort: heavy, short-lived HFT flow with Weibull(0.6)
+	// clustering — clients pile up inside the spike window and drain out
+	// ~15% of the horizon later, so the miss-rate table isolates the
+	// spike. The base cohorts trade through the whole session.
+	crash := Cohort{
+		Name:     "crash-hft",
+		Class:    ClassHFT,
+		Weight:   0.35,
+		Arrival:  Dist{Process: ProcWeibull, Shape: 0.6},
+		Tasks:    [2]int{2, 4},
+		Util:     [2]float64{0.25, 0.6},
+		Period:   [2]Duration{Duration(5e6), Duration(15e6)}, // 5-15ms
+		Parallel: [2]int{0, 2},
+		Lifetime: [2]Duration{Duration(3e7), Duration(9e7)}, // 30-90ms at 1s horizon scale
+	}
+	base := []Cohort{
+		builtinCohort("hft", ClassHFT, 0.1),
+		builtinCohort("algo", ClassAlgo, 0.2),
+		builtinCohort("retail", ClassRetail, 0.35),
+	}
+	return Spec{
+		Name:    "flash-crash",
+		Cohorts: append(base, crash),
+		Windows: []Window{
+			{Name: "calm", Start: 0, End: 0.4, Rate: 1},
+			{Name: "crash", Start: 0.4, End: 0.55, Rate: 12},
+			{Name: "aftershock", Start: 0.55, End: 0.7, Rate: 3},
+			{Name: "recovery", Start: 0.7, End: 1, Rate: 1},
+		},
+	}.withDefaults()
+}
+
+func openCloseSpec() Spec {
+	algo := builtinCohort("algo", ClassAlgo, 0.35)
+	algo.Arrival = Dist{Process: ProcGamma, Shape: 0.5}
+	return Spec{
+		Name: "open-close",
+		Cohorts: []Cohort{
+			builtinCohort("hft", ClassHFT, 0.2),
+			algo,
+			builtinCohort("retail", ClassRetail, 0.45),
+		},
+		Windows: []Window{
+			{Name: "open", Start: 0, End: 0.15, Rate: 6},
+			{Name: "session", Start: 0.15, End: 0.85, Rate: 1},
+			{Name: "close", Start: 0.85, End: 1, Rate: 8},
+		},
+	}.withDefaults()
+}

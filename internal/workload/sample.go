@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"rtseed/internal/engine"
+)
+
+// Mix64 derives an independent stream seed from (seed, n): SplitMix64's
+// output function over the golden-ratio sequence, the same construction
+// engine.Rand uses internally. Streams for distinct n never share state, so
+// every draw is a pure function of (seed, n, draw index).
+func Mix64(seed, n uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream domains keep the per-purpose sample streams of one (seed, id) pair
+// independent: the client-parameter stream of client 7 and the tick stream
+// of tick 7 come from different SplitMix64 sequences.
+const (
+	domainClient uint64 = 0x636c69656e740000 // "client"
+	domainTick   uint64 = 0x7469636b00000000 // "tick"
+)
+
+// Stream is one deterministic sample stream: a SplitMix64 generator plus
+// the inverse-CDF and rejection samplers the spec model draws from. All
+// distribution samplers are mean-normalized to 1 so the rate warping alone
+// sets the time scale.
+type Stream struct {
+	rng *engine.Rand
+}
+
+// NewStream returns the stream seeded by Mix64(seed, n).
+func NewStream(seed, n uint64) *Stream {
+	return &Stream{rng: engine.NewRand(Mix64(seed, n))}
+}
+
+// Uint64 returns the next raw value.
+func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform value in [0, n); it panics if n <= 0.
+func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
+
+// IntRange returns a uniform value in [lo, hi].
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + s.rng.Float64()*(hi-lo)
+}
+
+// DurRange returns a uniform duration in [lo, hi].
+func (s *Stream) DurRange(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(s.rng.Float64()*float64(hi-lo))
+}
+
+// Norm returns an approximately standard-normal value (engine.Rand's
+// Irwin-Hall twelve-uniform sum, tails truncated at ±6).
+func (s *Stream) Norm() float64 { return s.rng.NormFloat64() }
+
+// Exp returns a mean-1 exponential value by inverse CDF: -ln(1-U).
+func (s *Stream) Exp() float64 {
+	return -math.Log1p(-s.rng.Float64())
+}
+
+// Weibull returns a mean-1 Weibull(shape) value by inverse CDF:
+// (-ln(1-U))^(1/shape) divided by the raw mean Γ(1 + 1/shape). Shapes below
+// 1 give a heavy right tail (rare very long gaps — burst clustering).
+func (s *Stream) Weibull(shape float64) float64 {
+	raw := math.Pow(-math.Log1p(-s.rng.Float64()), 1/shape)
+	return raw / math.Gamma(1+1/shape)
+}
+
+// Gamma returns a mean-1 Gamma(shape) value (Marsaglia-Tsang for shape >= 1,
+// boosted by U^(1/shape) below 1), divided by the raw mean shape. The
+// rejection loop draws only from this stream, so the sample is still a pure
+// function of the stream's seed.
+func (s *Stream) Gamma(shape float64) float64 {
+	return s.gammaRaw(shape) / shape
+}
+
+func (s *Stream) gammaRaw(k float64) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k) (Marsaglia & Tsang's boost).
+		u := s.rng.Float64()
+		return s.gammaRaw(k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Gap draws one mean-1 inter-arrival gap from the distribution.
+func (s *Stream) Gap(d Dist) float64 {
+	switch d.Process {
+	case ProcPoisson:
+		return s.Exp()
+	case ProcGamma:
+		return s.Gamma(d.shape())
+	case ProcWeibull:
+		return s.Weibull(d.shape())
+	}
+	panic("workload: invalid process")
+}
+
+// LogUniformDur returns a log-uniform duration in [lo, hi].
+func (s *Stream) LogUniformDur(lo, hi time.Duration) time.Duration {
+	if lo >= hi {
+		return lo
+	}
+	r := s.rng.Float64()
+	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	return time.Duration(math.Exp(logLo + r*(logHi-logLo)))
+}
+
+// rateProfile is a compiled window rate profile: the piecewise-linear
+// cumulative-mass CDF over the horizon, inverted in closed form. Arrivals
+// and ticks are placed by mass fraction, so high-rate windows are dense.
+type rateProfile struct {
+	windows []ResolvedWindow
+	// cum[i] is the mass accumulated before window i; cum[len] is the total.
+	cum []float64
+}
+
+// newRateProfile compiles the spec windows against a horizon.
+func newRateProfile(windows []Window, horizon time.Duration) *rateProfile {
+	p := &rateProfile{
+		windows: make([]ResolvedWindow, len(windows)),
+		cum:     make([]float64, len(windows)+1),
+	}
+	for i, w := range windows {
+		p.windows[i] = ResolvedWindow{
+			Name:  w.Name,
+			Start: time.Duration(w.Start * float64(horizon)),
+			End:   time.Duration(w.End * float64(horizon)),
+			Rate:  w.Rate,
+		}
+		p.cum[i+1] = p.cum[i] + w.Rate*(w.End-w.Start)
+	}
+	return p
+}
+
+// at returns the instant at mass fraction x in [0, 1], clamped at the ends.
+func (p *rateProfile) at(x float64) time.Duration {
+	if x <= 0 {
+		return p.windows[0].Start
+	}
+	total := p.cum[len(p.windows)]
+	target := x * total
+	for i, w := range p.windows {
+		if target <= p.cum[i+1] || i == len(p.windows)-1 {
+			span := float64(w.End - w.Start)
+			frac := (target - p.cum[i]) / (p.cum[i+1] - p.cum[i])
+			if frac > 1 {
+				frac = 1
+			}
+			return w.Start + time.Duration(frac*span)
+		}
+	}
+	return p.windows[len(p.windows)-1].End
+}
+
+// rateAt returns the window rate multiplier in force at t.
+func (p *rateProfile) rateAt(t time.Duration) float64 {
+	for i := len(p.windows) - 1; i > 0; i-- {
+		if t >= p.windows[i].Start {
+			return p.windows[i].Rate
+		}
+	}
+	return p.windows[0].Rate
+}
