@@ -22,8 +22,20 @@ vet:
 # growth of the waiver population against the committed lint-budget.json —
 # lowering a count regenerates the budget in place, so the waiver count only
 # ever ratchets down. See DESIGN.md §5 for the invariants and escape hatches.
+#
+# The rtseed-vet wall time is printed after every run, and CI sets
+# LINT_MAX_SECONDS (a deliberately coarse ceiling) so a summary-computation
+# blow-up — the interprocedural tier is a whole-module fixpoint — fails the
+# build instead of silently eating the lint budget.
 lint:
-	$(GO) run ./cmd/rtseed-vet -budget lint-budget.json ./...
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/rtseed-vet -budget lint-budget.json ./... || exit $$?; \
+	elapsed=$$(($$(date +%s) - start)); \
+	echo "rtseed-vet: $${elapsed}s wall"; \
+	if [ -n "$(LINT_MAX_SECONDS)" ] && [ "$$elapsed" -gt "$(LINT_MAX_SECONDS)" ]; then \
+		echo "rtseed-vet: took $${elapsed}s, ceiling is $(LINT_MAX_SECONDS)s (summary tier blow-up?)"; \
+		exit 1; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; \
 		staticcheck ./...; \

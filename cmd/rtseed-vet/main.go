@@ -4,14 +4,15 @@
 //
 // Usage:
 //
-//	rtseed-vet [-json] [-stats] [-budget file] [packages]
+//	rtseed-vet [-json] [-sarif] [-stats] [-budget file] [packages]
 //
 // Packages default to ./... relative to the working directory, which must be
 // inside the module. The exit status is 0 when the tree is clean, 1 when any
 // analyzer reported findings, and 2 on a load or internal error. With -json
 // the findings are emitted as a JSON array ({analyzer, file, line, col,
-// message}) for CI annotation; the human format matches go vet's
-// file:line:col prefix, so editors hyperlink it as-is.
+// message}) for CI annotation; with -sarif they are emitted as a SARIF
+// 2.1.0 log for GitHub code scanning upload; the human format matches go
+// vet's file:line:col prefix, so editors hyperlink it as-is.
 //
 // With -stats, stdout carries the waiver-directive census instead — a JSON
 // object counting every waiver-class //rtseed: directive in the tree
@@ -46,10 +47,15 @@ func vetMain(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtseed-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log for code scanning upload")
 	statsOut := fs.Bool("stats", false, "emit the waiver-directive census as JSON on stdout (findings go to stderr)")
 	budgetPath := fs.String("budget", "", "compare the census against this budget `file`; growth fails, lowering rewrites it")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sarifOut && (*jsonOut || *statsOut) {
+		fmt.Fprintln(stderr, "rtseed-vet: -sarif cannot be combined with -json or -stats (stdout carries one document)")
 		return 2
 	}
 	diags, stats, err := suite.RunWithStats(dir, fs.Args())
@@ -57,7 +63,12 @@ func vetMain(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rtseed-vet:", err)
 		return 2
 	}
-	if *statsOut {
+	if *sarifOut {
+		if err := suite.PrintSARIF(stdout, dir, diags); err != nil {
+			fmt.Fprintln(stderr, "rtseed-vet:", err)
+			return 2
+		}
+	} else if *statsOut {
 		if err := suite.PrintStats(stdout, stats); err != nil {
 			fmt.Fprintln(stderr, "rtseed-vet:", err)
 			return 2
@@ -152,7 +163,7 @@ func checkBudget(dir, path string, stats suite.Stats, stderr io.Writer) int {
 }
 
 func usage(fs *flag.FlagSet, w io.Writer) {
-	fmt.Fprintf(w, "usage: rtseed-vet [-json] [-stats] [-budget file] [packages]\n\nAnalyzers:\n")
+	fmt.Fprintf(w, "usage: rtseed-vet [-json] [-sarif] [-stats] [-budget file] [packages]\n\nAnalyzers:\n")
 	for _, a := range suite.Analyzers {
 		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -160,7 +160,7 @@ func TestSchemaFileAgreesWithStruct(t *testing.T) {
 	for _, o := range schema.OneOf {
 		refs[o.Ref] = true
 	}
-	for _, want := range []string{"#/$defs/findings", "#/$defs/stats"} {
+	for _, want := range []string{"#/$defs/findings", "#/$defs/sarif", "#/$defs/stats"} {
 		if !refs[want] {
 			t.Errorf("schema oneOf lacks %q", want)
 		}
@@ -210,6 +210,150 @@ func TestSchemaFileAgreesWithStruct(t *testing.T) {
 	}
 	if len(enum) != len(suite.WaiverDirectives) {
 		t.Errorf("stats schema enumerates %d directives, suite counts %d", len(enum), len(suite.WaiverDirectives))
+	}
+}
+
+// --- -sarif against the published schema ---------------------------------
+
+// The sarif* structs mirror the $defs/sarif subset of schema.json exactly;
+// DisallowUnknownFields makes the decode fail if the CLI starts emitting
+// SARIF properties the schema does not publish.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool struct {
+		Driver struct {
+			Name  string `json:"name"`
+			Rules []struct {
+				ID               string       `json:"id"`
+				ShortDescription sarifMessage `json:"shortDescription"`
+			} `json:"rules"`
+		} `json:"driver"`
+	} `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifResult struct {
+	RuleID    string       `json:"ruleId"`
+	RuleIndex int          `json:"ruleIndex"`
+	Level     string       `json:"level"`
+	Message   sarifMessage `json:"message"`
+	Locations []struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region struct {
+				StartLine   int `json:"startLine"`
+				StartColumn int `json:"startColumn"`
+			} `json:"region"`
+		} `json:"physicalLocation"`
+	} `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+// decodeSARIF strictly decodes a -sarif document and checks the envelope
+// invariants every emission must satisfy.
+func decodeSARIF(t *testing.T, s string) sarifLog {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(s))
+	dec.DisallowUnknownFields()
+	var log sarifLog
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("-sarif output does not strictly decode against the schema struct: %v\n%s", err, s)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif has %d runs, want exactly 1", len(log.Runs))
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "rtseed-vet" {
+		t.Errorf("driver name = %q, want rtseed-vet", got)
+	}
+	return log
+}
+
+func TestSARIFOutputMatchesSchema(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/findings", "-sarif")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr %q)", code, stderr)
+	}
+	log := decodeSARIF(t, stdout)
+	run := log.Runs[0]
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a tree with findings")
+	}
+	rules := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = i
+	}
+	for _, a := range suite.Analyzers {
+		if _, ok := rules[a.Name]; !ok {
+			t.Errorf("driver rules lack analyzer %q", a.Name)
+		}
+	}
+	for _, r := range run.Results {
+		idx, ok := rules[r.RuleID]
+		if !ok {
+			t.Errorf("result ruleId %q has no driver rule", r.RuleID)
+		} else if r.RuleIndex != idx {
+			t.Errorf("result ruleIndex = %d, rule %q sits at %d", r.RuleIndex, r.RuleID, idx)
+		}
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(r.Locations))
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+			t.Errorf("artifact URI %q is not a relative slash path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+			t.Errorf("region %+v violates 1-based minimums", loc.Region)
+		}
+	}
+	// The noalloc finding the fixture seeds must anchor to its file.
+	found := false
+	for _, r := range run.Results {
+		if r.RuleID == "noalloc" && strings.HasSuffix(r.Locations[0].PhysicalLocation.ArtifactLocation.URI, "findings.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a noalloc result anchored to findings.go; got %s", stdout)
+	}
+}
+
+func TestSARIFCleanTreeEmitsEmptyResults(t *testing.T) {
+	code, stdout, stderr := vet(t, "testdata/clean", "-sarif")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, stderr)
+	}
+	log := decodeSARIF(t, stdout)
+	if log.Runs[0].Results == nil {
+		t.Error("clean tree must emit results: [], not null (code scanning rejects a missing array)")
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree emitted %d results", len(log.Runs[0].Results))
+	}
+}
+
+func TestSARIFExcludesOtherOutputForms(t *testing.T) {
+	for _, args := range [][]string{{"-sarif", "-json"}, {"-sarif", "-stats"}} {
+		code, _, stderr := vet(t, "testdata/clean", args...)
+		if code != 2 {
+			t.Errorf("%v: exit code = %d, want 2 (stderr %q)", args, code, stderr)
+		}
 	}
 }
 

@@ -156,7 +156,7 @@ var ErrPast = errors.New("engine: event scheduled in the past")
 //rtseed:kernelctx-entry public scheduling API; the engine is single-goroutine, so callers are serialized with the event loop
 func (e *Engine) Schedule(at Time, priority int, fn func()) Event {
 	if at < e.now {
-		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast)) //rtseed:alloc-ok cold panic path; never taken in a correct simulation
+		panic(fmt.Sprintf("engine: schedule at %v before now %v: %v", at, e.now, ErrPast))
 	}
 	e.seq++
 	var n *node

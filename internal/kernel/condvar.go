@@ -3,7 +3,6 @@ package kernel
 import (
 	"rtseed/internal/list"
 	"rtseed/internal/machine"
-	"rtseed/internal/trace"
 )
 
 // CondVar is a simulated condition variable in the style of pthread_cond_t.
@@ -27,18 +26,20 @@ func (cv *CondVar) Name() string { return cv.name }
 // Waiters returns the number of blocked threads.
 func (cv *CondVar) Waiters() int { return cv.waiters.Len() }
 
+// The condvar handlers complete through the thread's pre-allocated
+// condWaitFn/condSignalFn/condBroadcastFn callbacks, with the condition
+// variable stashed in t.svcCV until the service fires — arming the costed
+// service must not allocate a closure on the kernel path.
+
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) handleCondWait(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpCondWait, t.cpuID)
-	k.service(t, cost, func() {
-		t.state = StateBlocked
-		req.cv.waiters.PushBackNode(t.cvNode)
-		k.emit(t, trace.KindBlock, 0)
-		t.pendingReply = replyMsg{completed: true}
-		k.releaseCPU(t)
-	})
+	t.svcCV = req.cv
+	k.service(t, cost, t.condWaitFn)
 }
 
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) handleCondSignal(t *Thread, req request) {
 	// Price the signal with the cross-core transfer penalty when the woken
@@ -48,12 +49,11 @@ func (k *Kernel) handleCondSignal(t *Thread, req request) {
 	if target != nil {
 		cost = k.mach.RemoteCost(machine.OpCondSignal, t.cpuID, target.Value.cpuID)
 	}
-	k.service(t, cost, func() {
-		k.wakeOne(req.cv)
-		k.resumeThread(t, replyMsg{completed: true})
-	})
+	t.svcCV = req.cv
+	k.service(t, cost, t.condSignalFn)
 }
 
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) handleCondBroadcast(t *Thread, req request) {
 	cost := k.mach.Cost(machine.OpCondSignal, t.cpuID)
@@ -61,12 +61,8 @@ func (k *Kernel) handleCondBroadcast(t *Thread, req request) {
 	for i := 1; i < req.cv.waiters.Len(); i++ {
 		cost += k.mach.Cost(machine.OpCondSignal, t.cpuID)
 	}
-	k.service(t, cost, func() {
-		for req.cv.waiters.Len() > 0 {
-			k.wakeOne(req.cv)
-		}
-		k.resumeThread(t, replyMsg{completed: true})
-	})
+	t.svcCV = req.cv
+	k.service(t, cost, t.condBroadcastFn)
 }
 
 // wakeOne unblocks the front waiter of cv, if any.

@@ -18,6 +18,7 @@ func (c *TCB) Migrate(cpu machine.HWThread) {
 	c.t.syscall(request{kind: reqMigrate, remote: cpu})
 }
 
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) handleMigrate(t *Thread, req request) {
 	target := req.remote
@@ -25,21 +26,12 @@ func (k *Kernel) handleMigrate(t *Thread, req request) {
 		panic(fmt.Sprintf("kernel: migrate to invalid hw thread %d", target))
 	}
 	// Departure cost on the old CPU: deschedule plus cache-line flush
-	// toward the destination core.
+	// toward the destination core. The move itself happens in the thread's
+	// pre-allocated migrateFn callback, with the destination stashed in
+	// t.svcCPU until the service fires.
 	cost := k.mach.RemoteCost(machine.OpContextSwitch, t.cpuID, target)
-	k.service(t, cost, func() {
-		old := t.cpuID
-		k.setCurrent(k.cpu(old), nil)
-		k.mach.UnbindRT(old)
-		t.cpuID = target
-		k.mach.BindRT(target)
-		t.migrations++
-		t.dispatchOp = machine.OpContextSwitch
-		t.pendingReply = replyMsg{completed: true}
-		k.makeReady(t, false)
-		// The old CPU is free; let it pick its next thread.
-		k.scheduleDispatch(k.cpu(old))
-	})
+	t.svcCPU = target
+	k.service(t, cost, t.migrateFn)
 }
 
 // Migrations returns how many times the thread has migrated between

@@ -18,17 +18,20 @@ func (k *Kernel) NewPIMutex(name string) *Mutex {
 // boostOwner raises the owner's effective priority to the highest blocked
 // waiter's, requeueing it if it sits on a run queue.
 //
+//rtseed:noalloc
 //rtseed:kernelctx
 func (k *Kernel) boostOwner(m *Mutex) {
 	if !m.inherit || m.owner == nil {
 		return
 	}
 	top := m.owner.basePrio()
-	m.waiters.Do(func(w *Thread) {
-		if w.prio > top {
-			top = w.prio
+	// Walk the waiter nodes directly: a Do closure would capture top and
+	// allocate on the mutex hand-off path.
+	for n := m.waiters.Front(); n != nil; n = n.Next() {
+		if n.Value.prio > top {
+			top = n.Value.prio
 		}
-	})
+	}
 	if top == m.owner.prio {
 		return
 	}

@@ -156,6 +156,17 @@ type Thread struct {
 	timerSetFn      func()
 	timerStopFn     func()
 	resumeOKFn      func()
+	condWaitFn      func()
+	condSignalFn    func()
+	condBroadcastFn func()
+	migrateFn       func()
+
+	// Scratch parameters for the pre-allocated service callbacks above: the
+	// condition variable or destination CPU of the thread's in-flight kernel
+	// request, stashed by the handler and read back at fire time. Exactly one
+	// request per thread is in flight, so a single slot each suffices.
+	svcCV  *CondVar
+	svcCPU machine.HWThread
 }
 
 // ID returns the thread's creation-order identifier.
@@ -253,6 +264,47 @@ func (k *Kernel) newThread(cfg ThreadConfig) (*Thread, error) {
 	t.timerStopFn = func() { k.finishTimerStop(t) }
 	//rtseed:kernelctx
 	t.resumeOKFn = func() { k.resumeThread(t, replyMsg{completed: true}) }
+	//rtseed:kernelctx
+	t.condWaitFn = func() {
+		cv := t.svcCV
+		t.svcCV = nil
+		t.state = StateBlocked
+		cv.waiters.PushBackNode(t.cvNode)
+		k.emit(t, trace.KindBlock, 0)
+		t.pendingReply = replyMsg{completed: true}
+		k.releaseCPU(t)
+	}
+	//rtseed:kernelctx
+	t.condSignalFn = func() {
+		cv := t.svcCV
+		t.svcCV = nil
+		k.wakeOne(cv)
+		k.resumeThread(t, replyMsg{completed: true})
+	}
+	//rtseed:kernelctx
+	t.condBroadcastFn = func() {
+		cv := t.svcCV
+		t.svcCV = nil
+		for cv.waiters.Len() > 0 {
+			k.wakeOne(cv)
+		}
+		k.resumeThread(t, replyMsg{completed: true})
+	}
+	//rtseed:kernelctx
+	t.migrateFn = func() {
+		target := t.svcCPU
+		old := t.cpuID
+		k.setCurrent(k.cpu(old), nil)
+		k.mach.UnbindRT(old)
+		t.cpuID = target
+		k.mach.BindRT(target)
+		t.migrations++
+		t.dispatchOp = machine.OpContextSwitch
+		t.pendingReply = replyMsg{completed: true}
+		k.makeReady(t, false)
+		// The old CPU is free; let it pick its next thread.
+		k.scheduleDispatch(k.cpu(old))
+	}
 	k.threads = append(k.threads, t)
 	k.mach.BindRT(t.cpuID)
 	return t, nil

@@ -95,7 +95,7 @@ func run(mp *lint.ModulePass) error {
 			}
 		}
 	}
-	checkBlocking(mp, callgraph.Build(mp.Pkgs))
+	checkBlocking(mp, callgraph.Shared(mp))
 	return nil
 }
 

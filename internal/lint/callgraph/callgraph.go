@@ -263,6 +263,13 @@ type ifaceCall struct {
 	pos   token.Pos
 }
 
+// Shared returns the call graph of mp's loaded package set, built once per
+// module cache and reused by every module analyzer in the run (kernelctx,
+// bodystep, waiverdrift, and the summary consumers all need it).
+func Shared(mp *lint.ModulePass) *Graph {
+	return mp.Shared("callgraph", func() any { return Build(mp.Pkgs) }).(*Graph)
+}
+
 // Build constructs the call graph of the given packages.
 func Build(pkgs []*lint.Package) *Graph {
 	g := &Graph{byFunc: map[string]*Node{}, byLit: map[*ast.FuncLit]*Node{}}

@@ -1,0 +1,149 @@
+package callgraph_test
+
+import (
+	"go/token"
+	"testing"
+
+	"rtseed/internal/lint"
+	"rtseed/internal/lint/callgraph"
+)
+
+// These fixtures pin the call-graph shapes the summary layer leans on:
+// method values, method expressions, bound methods stored in struct fields,
+// and cross-package mutual recursion. Each case asserts the exact edges so
+// a regression here fails before it silently weakens every summary consumer.
+
+const srcM = `package m
+
+type Counter struct{ n int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func (c Counter) Get() int { return c.n }
+
+// methodValue binds the receiver: the reference is Ref, the later call
+// resolves by signature to the bound method.
+func methodValue(c *Counter) {
+	f := c.Inc
+	f()
+}
+
+// methodExpr references the method without a receiver; the explicit-receiver
+// call goes through a func(*Counter) value.
+func methodExpr(c *Counter) {
+	g := (*Counter).Inc
+	g(c)
+}
+
+// valueMethodExpr does the same through the value receiver.
+func valueMethodExpr(c Counter) int {
+	h := Counter.Get
+	return h(c)
+}
+
+type holder struct {
+	fn func()
+}
+
+// storeBound parks a bound method in a struct field — the reference must
+// survive the store.
+func storeBound(c *Counter) holder {
+	return holder{fn: c.Inc}
+}
+
+// callStored invokes whatever the field holds; with c.Inc address-taken the
+// dynamic call must reach it.
+func callStored(h holder) {
+	h.fn()
+}
+`
+
+// Packages p and q are mutually recursive across the package boundary: q
+// imports p and calls into it statically, while p reaches back into q
+// through interface dispatch (the only way a Go import DAG permits a
+// cross-package cycle). The call graph must still contain the cycle.
+const srcP = `package p
+
+type Stepper interface{ Step(n int) }
+
+func Drive(s Stepper, n int) {
+	if n > 0 {
+		s.Step(n - 1)
+	}
+}
+`
+
+const srcQ = `package q
+
+import "example/p"
+
+type Bouncer struct{}
+
+func (Bouncer) Step(n int) { p.Drive(Bouncer{}, n) }
+`
+
+func TestMethodValueAndExpressionEdges(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	pm := load(t, fset, imp, "example/m", srcM)
+	g := callgraph.Build([]*lint.Package{pm})
+	set := edgeSet(g)
+
+	for _, want := range []edgeKey{
+		// Method value: Ref at the binding, Dynamic at the call (the bound
+		// value's signature matches the receiver-stripped method).
+		{"m.methodValue", "(*m.Counter).Inc", callgraph.Ref},
+		{"m.methodValue", "(*m.Counter).Inc", callgraph.Dynamic},
+		// Method expressions keep the Ref edge for both receiver forms.
+		{"m.methodExpr", "(*m.Counter).Inc", callgraph.Ref},
+		{"m.valueMethodExpr", "(m.Counter).Get", callgraph.Ref},
+		// Bound method stored in a struct field: the store is a Ref from the
+		// storing function…
+		{"m.storeBound", "(*m.Counter).Inc", callgraph.Ref},
+		// …and the call through the field resolves by signature to every
+		// address-taken body that matches, Inc included.
+		{"m.callStored", "(*m.Counter).Inc", callgraph.Dynamic},
+	} {
+		if !set[want] {
+			t.Errorf("missing edge %s -%s-> %s", want.caller, want.kind, want.callee)
+		}
+	}
+
+	// The bound-value call must not leak onto the value-receiver method:
+	// Get's stripped signature is func() int, not func().
+	if set[edgeKey{"m.callStored", "(m.Counter).Get", callgraph.Dynamic}] {
+		t.Errorf("dynamic call through func() field resolved to Counter.Get (func() int)")
+	}
+}
+
+func TestCrossPackageMutualRecursion(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := mapImporter{}
+	pp := load(t, fset, imp, "example/p", srcP)
+	pq := load(t, fset, imp, "example/q", srcQ)
+	g := callgraph.Build([]*lint.Package{pp, pq})
+	set := edgeSet(g)
+
+	if !set[edgeKey{"p.Drive", "(q.Bouncer).Step", callgraph.Interface}] {
+		t.Fatalf("missing interface edge p.Drive -> q.Bouncer.Step")
+	}
+	if !set[edgeKey{"(q.Bouncer).Step", "p.Drive", callgraph.Static}] {
+		t.Fatalf("missing static edge q.Bouncer.Step -> p.Drive")
+	}
+
+	// The cycle is real: Drive reaches itself through Step. CallerPath must
+	// still terminate (visited-set, not depth) and end at the queried node.
+	var drive *callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Name() == "p.Drive" {
+			drive = n
+		}
+	}
+	if drive == nil {
+		t.Fatal("p.Drive node not found")
+	}
+	path := g.CallerPath(drive)
+	if len(path) == 0 || path[len(path)-1] != drive {
+		t.Errorf("CallerPath(p.Drive) = %q; must end at p.Drive", callgraph.FormatPath(path))
+	}
+}

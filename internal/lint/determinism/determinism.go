@@ -26,18 +26,11 @@ var Analyzer = &lint.Analyzer{
 	Run:       run,
 }
 
-// scopedPackages are the rtseed/internal packages whose non-test code must
-// be a pure function of its inputs. cmd/ front-ends and the trading demo
-// may touch the real world; these may not.
-var scopedPackages = []string{
-	"engine", "kernel", "overhead", "analysis", "sweep", "sched",
-	"task", "machine", "partition", "assign", "rt", "core", "trace",
-	"cluster", "workload",
-}
-
 // InScope reports whether the determinism contract applies to importPath.
+// The package list lives in lint.SimScopePackages — one scope table shared
+// by every determinism-tier analyzer.
 func InScope(importPath string) bool {
-	return lint.IsInternalPkg(importPath, scopedPackages...)
+	return lint.InSimScope(importPath)
 }
 
 // wallClockFuncs are the package-level time functions that block on or arm

@@ -13,11 +13,17 @@
 //   - propagation: assignments, arithmetic, composite literals, calls with
 //     tainted arguments or receivers — the CFG + worklist solver from
 //     internal/lint/dataflow carries taint through locals and struct
-//     fields, so laundering is visible;
+//     fields, so laundering is visible; calls the call graph resolves use
+//     the callee's function summary (internal/lint/summary) instead of the
+//     conservative any-argument rule, so taint crossing function frames —
+//     a time.Now() laundered through a helper's return value, an argument
+//     a callee stores escapingly — is tracked too, and the finding names
+//     the call path it travelled;
 //   - sinks: returned values, stores that outlive the call (package
 //     variables, named results, fields reached through pointer parameters
-//     or captured variables), channel sends, and arguments to
-//     rtseed/internal/trace calls.
+//     or captured variables), channel sends, arguments to
+//     rtseed/internal/trace calls, and arguments handed to a callee whose
+//     summary stores them beyond the call.
 //
 // Two deliberate imprecisions keep the signal usable: map-iteration-order
 // taint does not survive binary arithmetic (order-insensitive reductions —
@@ -35,74 +41,93 @@ import (
 	"strings"
 
 	"rtseed/internal/lint"
+	"rtseed/internal/lint/callgraph"
 	"rtseed/internal/lint/dataflow"
 	"rtseed/internal/lint/determinism"
+	"rtseed/internal/lint/summary"
 )
 
-// Analyzer is the taint-based determinism checker.
+// Analyzer is the taint-based determinism checker. It is a module analyzer
+// so it can consult whole-module function summaries; the packages it
+// reports on are the same determinism scope the syntactic analyzer uses.
 var Analyzer = &lint.Analyzer{
 	Name: "detflow",
 	Doc: "flag nondeterministic values that reach results, traces, or escaping stores\n\n" +
 		"Taint-tracks wall-clock reads, global math/rand, env reads, and map\n" +
-		"iteration order through each function's CFG; a finding fires only when\n" +
-		"the tainted value is returned, stored where it outlives the call, sent\n" +
-		"on a channel, or emitted to the trace. Waive with\n" +
+		"iteration order through each function's CFG and, via whole-module\n" +
+		"function summaries, across call frames; a finding fires only when the\n" +
+		"tainted value is returned, stored where it outlives the call, sent on\n" +
+		"a channel, or emitted to the trace. Waive with\n" +
 		"//rtseed:nondeterministic-ok <reason>.",
-	AppliesTo: determinism.InScope,
-	Run:       run,
+	RunModule: run,
 }
 
-// Taint kinds, used both for messages and for the map-order imprecisions.
+// Taint kinds, shared with the summary tier (one source table for both).
 const (
-	kindWallClock = "wall-clock"
-	kindRand      = "globally-seeded random"
-	kindEnv       = "environment-dependent"
+	kindWallClock = summary.KindWallClock
+	kindRand      = summary.KindRand
+	kindEnv       = summary.KindEnv
 	kindMapOrder  = "map-iteration-ordered"
 )
 
 const tracePkg = "rtseed/internal/trace"
 
-// clockSources are the time functions whose *results* depend on the host
-// clock. The blocking time functions (Sleep, NewTimer, ...) stay with the
-// syntactic determinism analyzer: blocking is a side effect, not a value.
-var clockSources = map[string]bool{"Now": true, "Since": true, "Until": true}
-
-// envSources read the process environment.
-var envSources = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+// inScope reports whether detflow reports on importPath: the shared
+// determinism scope, plus fixture packages so the analyzer is testable.
+func inScope(importPath string) bool {
+	return determinism.InScope(importPath) || strings.HasPrefix(importPath, "rtseed/fixture/")
+}
 
 // taint records where a nondeterministic value came from.
 type taint struct {
 	kind string    // one of the kind* constants
 	what string    // source description, e.g. "time.Now"
 	pos  token.Pos // the source expression's position
+	// entry and origin are set when the taint arrived through a summarized
+	// callee's return value: entry is that callee and origin the summary
+	// record, so flag can reconstruct the call path for the message.
+	entry  *callgraph.Node
+	origin summary.Origin
 }
 
-func run(pass *lint.Pass) error {
+func run(mp *lint.ModulePass) error {
+	sums := summary.Shared(mp)
+	for _, pkg := range mp.Pkgs {
+		if !inScope(pkg.ImportPath) {
+			continue
+		}
+		runPkg(mp.PackagePass(pkg), sums)
+	}
+	return nil
+}
+
+func runPkg(pass *lint.Pass, sums *summary.Set) {
 	for _, file := range pass.Pkg.Syntax {
 		for _, d := range file.Decls {
 			decl, ok := d.(*ast.FuncDecl)
 			if !ok || decl.Body == nil {
 				continue
 			}
-			analyzeFunc(pass, decl, decl.Recv, decl.Type, decl.Body)
+			analyzeFunc(pass, sums, decl, decl.Recv, decl.Type, decl.Body)
 			// Function literals have their own control flow; analyze each
 			// independently. Captured variables count as escaping roots but
-			// carry no taint in (intraprocedural).
+			// carry no taint in (taint entering through a call is the
+			// summary tier's business).
 			ast.Inspect(decl.Body, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.FuncLit); ok {
-					analyzeFunc(pass, decl, nil, lit.Type, lit.Body)
+					analyzeFunc(pass, sums, decl, nil, lit.Type, lit.Body)
 				}
 				return true
 			})
 		}
 	}
-	return nil
 }
 
 // checker evaluates expressions against a taint state, optionally reporting
 // findings (only the post-solve replay reports; solver passes run silent).
 type checker struct {
 	pass   *lint.Pass
+	sums   *summary.Set
 	decl   *ast.FuncDecl // enclosing declaration, for function-scope waivers
 	report bool
 	seen   map[token.Pos]bool
@@ -117,9 +142,10 @@ type checker struct {
 	fnEnd      token.Pos
 }
 
-func analyzeFunc(pass *lint.Pass, decl *ast.FuncDecl, recv *ast.FieldList, fnType *ast.FuncType, body *ast.BlockStmt) {
+func analyzeFunc(pass *lint.Pass, sums *summary.Set, decl *ast.FuncDecl, recv *ast.FieldList, fnType *ast.FuncType, body *ast.BlockStmt) {
 	ck := &checker{
 		pass:       pass,
+		sums:       sums,
 		decl:       decl,
 		paramObjs:  map[types.Object]bool{},
 		resultObjs: map[types.Object]bool{},
@@ -437,34 +463,28 @@ func (c *checker) eval(e ast.Expr, s dataflow.State[taint]) (taint, bool) {
 }
 
 // call evaluates a call expression: source recognition, the trace-emission
-// sink, and conservative propagation (any tainted argument or receiver
-// taints the result).
+// sink, then summary-based propagation for callees the call graph resolves,
+// with the conservative rule (any tainted argument or receiver taints the
+// result) as the fallback for calls it cannot.
 func (c *checker) call(e *ast.CallExpr, s dataflow.State[taint]) (taint, bool) {
-	fn := c.pass.CalleeFunc(e)
-	if fn != nil && fn.Pkg() != nil {
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
-			path, name := fn.Pkg().Path(), fn.Name()
-			switch {
-			case path == "time" && clockSources[name]:
-				for _, a := range e.Args {
-					c.eval(a, s)
-				}
-				return taint{kind: kindWallClock, what: "time." + name, pos: e.Pos()}, true
-			case (path == "math/rand" || path == "math/rand/v2") && !strings.HasPrefix(name, "New"):
-				for _, a := range e.Args {
-					c.eval(a, s)
-				}
-				return taint{kind: kindRand, what: path + "." + name, pos: e.Pos()}, true
-			case path == "os" && envSources[name]:
-				return taint{kind: kindEnv, what: "os." + name, pos: e.Pos()}, true
+	info := c.info()
+	if kind, what, ok := summary.Source(info, e); ok {
+		for _, a := range e.Args {
+			c.eval(a, s)
+		}
+		return taint{kind: kind, what: what, pos: e.Pos()}, true
+	}
+	if fn := c.pass.CalleeFunc(e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tracePkg {
+		for _, arg := range e.Args {
+			if t, ok := c.eval(arg, s); ok {
+				c.flag(arg.Pos(), t, "is emitted to the trace via "+fn.Name())
 			}
 		}
-		if fn.Pkg().Path() == tracePkg {
-			for _, arg := range e.Args {
-				if t, ok := c.eval(arg, s); ok {
-					c.flag(arg.Pos(), t, "is emitted to the trace via "+fn.Name())
-				}
-			}
+	}
+
+	if c.sums != nil {
+		if callee, args := c.sums.ResolveCall(info, e); callee != nil {
+			return c.summaryCall(callee, args, s)
 		}
 	}
 
@@ -485,6 +505,36 @@ func (c *checker) call(e *ast.CallExpr, s dataflow.State[taint]) (taint, bool) {
 	return found, ok
 }
 
+// summaryCall propagates through a resolved callee using its summary: an
+// argument the callee stores beyond the call is a sink, the result carries
+// the callee's return taint and whatever tainted arguments flow to its
+// return value.
+func (c *checker) summaryCall(callee *summary.Summary, args []ast.Expr, s dataflow.State[taint]) (taint, bool) {
+	albls := make([]taint, len(args))
+	aok := make([]bool, len(args))
+	for i, a := range args {
+		albls[i], aok[i] = c.eval(a, s)
+	}
+	for i, a := range args {
+		if aok[i] && callee.ParamEscapes.Has(callee.ArgIndex(i)) {
+			c.flag(a.Pos(), albls[i], "is stored beyond this call by "+callee.Node.Name())
+		}
+	}
+	var out taint
+	ok := false
+	if len(callee.ReturnTaint) > 0 {
+		o := callee.ReturnTaint[0]
+		out = taint{kind: o.Kind, what: o.What, pos: o.Pos, entry: callee.Node, origin: o}
+		ok = true
+	}
+	for i := range args {
+		if !ok && aok[i] && callee.ReturnFromParam.Has(callee.ArgIndex(i)) {
+			out, ok = albls[i], true
+		}
+	}
+	return out, ok
+}
+
 func (c *checker) flag(pos token.Pos, t taint, how string) {
 	if !c.report || c.seen[pos] {
 		return
@@ -494,6 +544,12 @@ func (c *checker) flag(pos token.Pos, t taint, how string) {
 		return
 	}
 	line := c.pass.Pkg.Fset.Position(t.pos).Line
+	if t.entry != nil {
+		path := callgraph.FormatPath(c.sums.TaintPath(t.entry, t.origin))
+		c.pass.Reportf(pos, "%s value from %s (line %d, via %s) %s; a run is no longer a pure function of its seed (//rtseed:nondeterministic-ok <reason> to waive)",
+			t.kind, t.what, line, path, how)
+		return
+	}
 	c.pass.Reportf(pos, "%s value from %s (line %d) %s; a run is no longer a pure function of its seed (//rtseed:nondeterministic-ok <reason> to waive)",
 		t.kind, t.what, line, how)
 }

@@ -47,6 +47,10 @@ import (
 //   - //rtseed:bodystep-ok <reason> waives a bodystep finding — a
 //     continuation-protocol violation in or reachable from a kernel.Body
 //     Step method. The reason is mandatory.
+//   - //rtseed:shared-ok <reason> waives an isoshare finding — shared
+//     mutable state written from a parallel worker closure, or a fan-out
+//     result merge whose iteration order is not the canonical index order.
+//     The reason is mandatory.
 const (
 	DirNoalloc          = "noalloc"
 	DirNondeterministic = "nondeterministic-ok"
@@ -57,6 +61,7 @@ const (
 	DirPartialOK        = "partial-ok"
 	DirUnitsOK          = "units-ok"
 	DirBodyStepOK       = "bodystep-ok"
+	DirSharedOK         = "shared-ok"
 )
 
 // reasonRequired records which directives must carry a justification.
@@ -70,6 +75,7 @@ var reasonRequired = map[string]bool{
 	DirPartialOK:        true,
 	DirUnitsOK:          true,
 	DirBodyStepOK:       true,
+	DirSharedOK:         true,
 }
 
 // KnownDirectives lists every directive name the grammar accepts, in
@@ -77,6 +83,7 @@ var reasonRequired = map[string]bool{
 var KnownDirectives = []string{
 	DirNoalloc, DirNondeterministic, DirAllocOK, DirHandleOK,
 	DirKernelCtx, DirKernelCtxEntry, DirPartialOK, DirUnitsOK, DirBodyStepOK,
+	DirSharedOK,
 }
 
 // A Directive is one parsed //rtseed: comment.

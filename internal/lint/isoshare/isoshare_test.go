@@ -1,0 +1,12 @@
+package isoshare_test
+
+import (
+	"testing"
+
+	"rtseed/internal/lint/analysistest"
+	"rtseed/internal/lint/isoshare"
+)
+
+func TestIsoshare(t *testing.T) {
+	analysistest.Run(t, isoshare.Analyzer, "../testdata/src/isoshare")
+}

@@ -107,7 +107,7 @@ func (c *classifier) classify(n *callgraph.Node) context {
 }
 
 func run(mp *lint.ModulePass) error {
-	g := callgraph.Build(mp.Pkgs)
+	g := callgraph.Shared(mp)
 	c := &classifier{ctx: map[*callgraph.Node]context{}}
 
 	for _, n := range g.Nodes {

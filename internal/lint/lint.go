@@ -209,6 +209,18 @@ func (p *Pass) InspectFuncs(visit func(file *ast.File, decl *ast.FuncDecl, n ast
 	}
 }
 
+// A ModuleCache shares expensive whole-module computations — the call
+// graph, the function-summary set — between the module analyzers of one
+// suite run (including waiverdrift's audit re-runs, which would otherwise
+// rebuild everything a second time). Keys are chosen by the computing
+// package; values are opaque to the framework.
+type ModuleCache struct {
+	entries map[string]any
+}
+
+// NewModuleCache returns an empty cache, one per driver run.
+func NewModuleCache() *ModuleCache { return &ModuleCache{entries: map[string]any{}} }
+
 // A ModulePass connects one module-level Analyzer run to the whole loaded
 // package set and collects its findings.
 type ModulePass struct {
@@ -221,6 +233,30 @@ type ModulePass struct {
 	// auditable the same way single-package ones are.
 	audit bool
 	used  map[*Directive]bool
+
+	cache *ModuleCache
+}
+
+// Cache returns the run's module cache, creating a private one when the
+// driver did not supply any (standalone RunModuleAnalyzer calls).
+func (mp *ModulePass) Cache() *ModuleCache {
+	if mp.cache == nil {
+		mp.cache = NewModuleCache()
+	}
+	return mp.cache
+}
+
+// Shared returns the cached value under key, building and memoizing it on
+// first use. The cache is keyed per driver run over one loaded package set,
+// so builders may close over mp.Pkgs.
+func (mp *ModulePass) Shared(key string, build func() any) any {
+	c := mp.Cache()
+	v, ok := c.entries[key]
+	if !ok {
+		v = build()
+		c.entries[key] = v
+	}
+	return v
 }
 
 // Reportf records a finding at pos, resolved through pkg's file set.
@@ -274,8 +310,15 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 // RunModuleAnalyzer applies a module analyzer to the whole loaded package
 // set and returns its findings sorted by position.
 func RunModuleAnalyzer(a *Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	return RunModuleAnalyzerCached(a, pkgs, nil)
+}
+
+// RunModuleAnalyzerCached is RunModuleAnalyzer with a shared module cache,
+// so a driver running several module analyzers over the same package set
+// builds the call graph and summaries once. A nil cache means private.
+func RunModuleAnalyzerCached(a *Analyzer, pkgs []*Package, cache *ModuleCache) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags}
+	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags, cache: cache}
 	if err := a.RunModule(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
@@ -302,9 +345,15 @@ func RunAnalyzerAudit(a *Analyzer, pkg *Package) ([]Diagnostic, map[*Directive]b
 // package set with waivers disabled, returning the directives that would
 // have waived a finding — the module-level counterpart of RunAnalyzerAudit.
 func RunModuleAnalyzerAudit(a *Analyzer, pkgs []*Package) ([]Diagnostic, map[*Directive]bool, error) {
+	return RunModuleAnalyzerAuditCached(a, pkgs, nil)
+}
+
+// RunModuleAnalyzerAuditCached is RunModuleAnalyzerAudit with a shared
+// module cache (see RunModuleAnalyzerCached).
+func RunModuleAnalyzerAuditCached(a *Analyzer, pkgs []*Package, cache *ModuleCache) ([]Diagnostic, map[*Directive]bool, error) {
 	var diags []Diagnostic
 	used := map[*Directive]bool{}
-	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags, audit: true, used: used}
+	pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags, audit: true, used: used, cache: cache}
 	if err := a.RunModule(pass); err != nil {
 		return nil, nil, fmt.Errorf("%s (audit): %w", a.Name, err)
 	}

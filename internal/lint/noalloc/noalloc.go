@@ -10,8 +10,16 @@
 //
 // Value-typed struct literals (replyMsg{...}, engine.Event{}) are not
 // flagged: they live on the stack unless something else — which is flagged —
-// makes them escape. Amortized or cold-path allocations are waived with
+// makes them escape. Panic arguments are exempt: a panic is the cold path by
+// definition, and its formatting cost is irrelevant to steady state.
+// Amortized or cold-path allocations are waived with
 // //rtseed:alloc-ok <reason> on the offending line.
+//
+// The analyzer is a module analyzer so it can consult whole-module function
+// summaries (internal/lint/summary): a static call from an annotated
+// function to an unannotated callee whose summary carries an allocation
+// witness is flagged too, with the call path down to the allocating frame.
+// Annotated callees are trusted — they are checked (and waived) themselves.
 package noalloc
 
 import (
@@ -22,35 +30,46 @@ import (
 	"strings"
 
 	"rtseed/internal/lint"
+	"rtseed/internal/lint/callgraph"
+	"rtseed/internal/lint/summary"
 )
 
 // Analyzer is the zero-allocation checker.
 var Analyzer = &lint.Analyzer{
 	Name: "noalloc",
-	Doc:  "flag allocating constructs inside functions annotated //rtseed:noalloc",
-	Run:  run,
+	Doc: "flag allocating constructs inside functions annotated //rtseed:noalloc\n\n" +
+		"Checks the annotated body syntactically (make/new/append, heap\n" +
+		"literals, boxing, fmt, go statements, capturing closures) and, via\n" +
+		"whole-module function summaries, flags static calls to unannotated\n" +
+		"callees that allocate anywhere below the call. Panic arguments are\n" +
+		"exempt (cold path). Waive with //rtseed:alloc-ok <reason>.",
+	RunModule: runModule,
 }
 
 // reportFunc reports a finding unless the line carries //rtseed:alloc-ok.
 type reportFunc func(pos token.Pos, format string, args ...any)
 
-func run(pass *lint.Pass) error {
-	for _, file := range pass.Pkg.Syntax {
-		for _, d := range file.Decls {
-			decl, ok := d.(*ast.FuncDecl)
-			if !ok || decl.Body == nil {
-				continue
+func runModule(mp *lint.ModulePass) error {
+	sums := summary.Shared(mp)
+	for _, pkg := range mp.Pkgs {
+		pass := mp.PackagePass(pkg)
+		for _, file := range pkg.Syntax {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				if pass.FuncDirective(decl, lint.DirNoalloc) == nil {
+					continue
+				}
+				checkFunc(pass, sums, decl)
 			}
-			if pass.FuncDirective(decl, lint.DirNoalloc) == nil {
-				continue
-			}
-			checkFunc(pass, decl)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *lint.Pass, decl *ast.FuncDecl) {
+func checkFunc(pass *lint.Pass, sums *summary.Set, decl *ast.FuncDecl) {
 	report := func(pos token.Pos, format string, args ...any) {
 		if !pass.Waived(pos, lint.DirAllocOK) {
 			pass.Reportf(pos, format, args...)
@@ -59,7 +78,10 @@ func checkFunc(pass *lint.Pass, decl *ast.FuncDecl) {
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, n, report)
+			if isPanicCall(pass, n) {
+				return false // panic arguments are the cold path
+			}
+			checkCall(pass, sums, n, report)
 		case *ast.FuncLit:
 			if captured := capturedVars(pass, decl, n); len(captured) > 0 {
 				report(n.Pos(), "closure captures %s and allocates; hoist it to a pre-allocated field or func value",
@@ -95,7 +117,13 @@ func checkFunc(pass *lint.Pass, decl *ast.FuncDecl) {
 	})
 }
 
-func checkCall(pass *lint.Pass, call *ast.CallExpr, report reportFunc) {
+// isPanicCall reports whether call is the built-in panic.
+func isPanicCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	b := pass.CalleeBuiltin(call)
+	return b != nil && b.Name() == "panic"
+}
+
+func checkCall(pass *lint.Pass, sums *summary.Set, call *ast.CallExpr, report reportFunc) {
 	if b := pass.CalleeBuiltin(call); b != nil {
 		switch b.Name() {
 		case "make":
@@ -118,7 +146,30 @@ func checkCall(pass *lint.Pass, call *ast.CallExpr, report reportFunc) {
 		report(call.Pos(), "fmt.%s allocates (formatting boxes its arguments)", fn.Name())
 		return
 	}
+	checkSummaryAlloc(pass, sums, call, report)
 	checkArgBoxing(pass, call, report)
+}
+
+// checkSummaryAlloc flags a static call to an unannotated callee whose
+// summary carries an allocation witness: the annotated caller's zero-alloc
+// contract does not survive the call. Annotated callees are trusted — their
+// own bodies are checked directly, and their waivers are theirs to carry.
+func checkSummaryAlloc(pass *lint.Pass, sums *summary.Set, call *ast.CallExpr, report reportFunc) {
+	if sums == nil {
+		return
+	}
+	callee, _ := sums.ResolveCall(pass.TypesInfo(), call)
+	if callee == nil || callee.Alloc == nil || summary.NoallocAnnotated(callee.Node) {
+		return
+	}
+	path := sums.AllocPath(callee.Node)
+	if len(path) > 1 {
+		report(call.Pos(), "call to %s allocates (%s, via %s)",
+			callee.Node.Name(), callee.Alloc.What, callgraph.FormatPath(path))
+		return
+	}
+	report(call.Pos(), "call to %s allocates (%s at line %d)",
+		callee.Node.Name(), callee.Alloc.What, pass.Pkg.Fset.Position(callee.Alloc.Pos).Line)
 }
 
 // checkArgBoxing flags concrete arguments passed to interface-typed

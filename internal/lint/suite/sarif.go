@@ -1,0 +1,149 @@
+package suite
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"rtseed/internal/lint"
+)
+
+// SARIF is the third output form rtseed-vet publishes (alongside -json and
+// -stats): a SARIF 2.1.0 log GitHub code scanning ingests directly, so vet
+// findings annotate pull requests without a translation step. Only the
+// subset of the standard the suite needs is emitted — one run, one driver,
+// one rule per analyzer, one result per finding with a single physical
+// location — and schema.json publishes exactly that subset.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// directivesRuleID tags malformed //rtseed: comment findings, which come
+// from the directive parser rather than any one analyzer.
+const directivesRuleID = "directives"
+
+// PrintSARIF writes the findings as a SARIF 2.1.0 log. Artifact URIs are
+// repository-relative (resolved against dir, the directory the packages
+// were loaded from) so code scanning anchors annotations to checked-out
+// paths; a finding outside dir keeps its loader path verbatim.
+func PrintSARIF(w io.Writer, dir string, diags []lint.Diagnostic) error {
+	var rules []sarifRule
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range Analyzers {
+		addRule(a.Name, firstLine(a.Doc))
+	}
+	addRule(directivesRuleID, "malformed or reasonless //rtseed: directive comments")
+
+	results := []sarifResult{} // emit [], not null, on a clean tree
+	for _, d := range diags {
+		addRule(d.Analyzer, "") // future-proof: never emit a ruleId without its rule
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(dir, d.File)},
+					Region:           sarifRegion{StartLine: max(d.Line, 1), StartColumn: max(d.Col, 1)},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rtseed-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// sarifURI makes file relative to dir with forward slashes, the form code
+// scanning matches against the checkout.
+func sarifURI(dir, file string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		if rel, err := filepath.Rel(abs, file); err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// firstLine trims an analyzer Doc to its summary line for the rule table.
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}

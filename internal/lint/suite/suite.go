@@ -15,6 +15,7 @@ import (
 	"rtseed/internal/lint/detflow"
 	"rtseed/internal/lint/eventhandle"
 	"rtseed/internal/lint/exhaustive"
+	"rtseed/internal/lint/isoshare"
 	"rtseed/internal/lint/kernelctx"
 	"rtseed/internal/lint/noalloc"
 	"rtseed/internal/lint/timeunits"
@@ -23,7 +24,10 @@ import (
 
 // Analyzers is the vet suite, in reporting order: the per-package invariant
 // checkers first (syntactic, then dataflow), then the whole-program
-// call-graph analyzers.
+// call-graph and summary-driven analyzers. The module analyzers share one
+// ModuleCache per run, so the call graph and function summaries are built
+// once and reused by detflow, noalloc, isoshare, kernelctx, bodystep, and
+// the waiverdrift audit.
 var Analyzers = []*lint.Analyzer{
 	determinism.Analyzer,
 	detflow.Analyzer,
@@ -31,6 +35,7 @@ var Analyzers = []*lint.Analyzer{
 	eventhandle.Analyzer,
 	exhaustive.Analyzer,
 	timeunits.Analyzer,
+	isoshare.Analyzer,
 	bodystep.Analyzer,
 	kernelctx.Analyzer,
 	waiverdrift.Analyzer,
@@ -47,6 +52,7 @@ var WaiverDirectives = []string{
 	lint.DirPartialOK,
 	lint.DirUnitsOK,
 	lint.DirBodyStepOK,
+	lint.DirSharedOK,
 	lint.DirKernelCtxEntry,
 }
 
@@ -106,11 +112,12 @@ func RunWithStats(dir string, patterns []string) ([]lint.Diagnostic, Stats, erro
 			diags = append(diags, found...)
 		}
 	}
+	cache := lint.NewModuleCache()
 	for _, a := range Analyzers {
 		if a.RunModule == nil {
 			continue
 		}
-		found, err := lint.RunModuleAnalyzer(a, pkgs)
+		found, err := lint.RunModuleAnalyzerCached(a, pkgs, cache)
 		if err != nil {
 			return nil, stats, err
 		}

@@ -1,0 +1,92 @@
+package summary
+
+import "rtseed/internal/lint/callgraph"
+
+// directEdge reports whether an edge participates in summary propagation:
+// the direct call tiers only. Ref edges are references, not invocations,
+// and Interface/Dynamic edges over-approximate too much to feed summaries
+// (see the package doc).
+func directEdge(k callgraph.EdgeKind) bool {
+	switch k {
+	case callgraph.Static, callgraph.Go, callgraph.Defer:
+		return true
+	case callgraph.Ref, callgraph.Interface, callgraph.Dynamic:
+		return false
+	}
+	return false
+}
+
+// bottomUpSCCs returns the strongly-connected components of the direct call
+// tiers in bottom-up (callees-first) order: Tarjan emits an SCC only after
+// every SCC it calls into, which is exactly the order summary computation
+// needs. Node iteration follows g.Nodes, so the result is deterministic.
+func bottomUpSCCs(g *callgraph.Graph) [][]*callgraph.Node {
+	t := &tarjan{
+		index: make(map[*callgraph.Node]int, len(g.Nodes)),
+		low:   make(map[*callgraph.Node]int, len(g.Nodes)),
+		on:    make(map[*callgraph.Node]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		if _, ok := t.index[n]; !ok {
+			t.visit(n)
+		}
+	}
+	return t.sccs
+}
+
+type tarjan struct {
+	counter    int
+	index, low map[*callgraph.Node]int
+	on         map[*callgraph.Node]bool
+	stack      []*callgraph.Node
+	sccs       [][]*callgraph.Node
+}
+
+func (t *tarjan) visit(n *callgraph.Node) {
+	t.index[n] = t.counter
+	t.low[n] = t.counter
+	t.counter++
+	t.stack = append(t.stack, n)
+	t.on[n] = true
+	for _, e := range n.Out {
+		if !directEdge(e.Kind) {
+			continue
+		}
+		m := e.Callee
+		if _, ok := t.index[m]; !ok {
+			t.visit(m)
+			if t.low[m] < t.low[n] {
+				t.low[n] = t.low[m]
+			}
+		} else if t.on[m] && t.index[m] < t.low[n] {
+			t.low[n] = t.index[m]
+		}
+	}
+	if t.low[n] == t.index[n] {
+		var scc []*callgraph.Node
+		for {
+			m := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.on[m] = false
+			scc = append(scc, m)
+			if m == n {
+				break
+			}
+		}
+		t.sccs = append(t.sccs, scc)
+	}
+}
+
+// isRecursive reports whether an SCC needs fixpoint iteration: more than
+// one member, or a single body that calls itself directly.
+func isRecursive(scc []*callgraph.Node) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	for _, e := range scc[0].Out {
+		if directEdge(e.Kind) && e.Callee == scc[0] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,308 @@
+package summary_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"rtseed/internal/lint"
+	"rtseed/internal/lint/callgraph"
+	"rtseed/internal/lint/summary"
+)
+
+const src = `package a
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+var counter int
+var gauge = map[string]int{}
+
+func now() time.Time { return time.Now() }
+
+func stamp() time.Time {
+	t := now()
+	return t
+}
+
+func launder(t time.Time) time.Time { return t }
+
+func pick(mode string) string {
+	if mode == "" {
+		return os.Getenv("MODE")
+	}
+	return mode
+}
+
+func bump(p *int) { *p++ }
+
+func bumpCounter() { bump(&counter) }
+
+func store(dst *[]int, v int) { *dst = append(*dst, v) }
+
+func record(k string) { gauge[k]++ }
+
+func callsRecord(k string) { record(k) }
+
+func describe(n int) string { return fmt.Sprintf("%d", n) }
+
+func viaDescribe(n int) string { return describe(n) }
+
+func pure(a, b int) int { return a + b }
+
+func failfast(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n))
+	}
+	return n
+}
+
+func mutual(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return mutual2(n - 1)
+}
+
+func mutual2(n int) int { return mutual(n) + int(time.Now().Unix()) }
+
+func closureCounter() func() {
+	n := 0
+	return func() {
+		n++
+		counter++
+	}
+}
+
+func fill(out []int) {
+	for i := range out {
+		func(j int) { out[j] = j }(i)
+	}
+}
+`
+
+// load type-checks the test source against real export data, so the "time",
+// "os", and "fmt" imports resolve exactly as they do under the driver.
+func load(t *testing.T) (*lint.Package, *callgraph.Graph, *summary.Set) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp, err := lint.NewImporter(fset, "../../..", "fmt", "os", "time")
+	if err != nil {
+		t.Fatalf("building importer: %v", err)
+	}
+	file, err := parser.ParseFile(fset, "a/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, err := lint.NewPackage(fset, "example/a", "", []*ast.File{file}, imp)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	g := callgraph.Build([]*lint.Package{pkg})
+	return pkg, g, summary.Compute([]*lint.Package{pkg}, g)
+}
+
+func nodeByName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+func pkgVar(t *testing.T, pkg *lint.Package, name string) types.Object {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("no package variable %s", name)
+	}
+	return obj
+}
+
+func TestReturnTaintCrossesFrames(t *testing.T) {
+	_, g, set := load(t)
+	stamp := set.Of(nodeByName(t, g, "a.stamp"))
+	if len(stamp.ReturnTaint) != 1 {
+		t.Fatalf("stamp ReturnTaint = %v, want one origin", stamp.ReturnTaint)
+	}
+	o := stamp.ReturnTaint[0]
+	if o.Kind != summary.KindWallClock || o.What != "time.Now" {
+		t.Errorf("stamp origin = %q %q, want wall-clock time.Now", o.Kind, o.What)
+	}
+	if o.Func != nodeByName(t, g, "a.now") {
+		t.Errorf("origin Func = %v, want a.now", o.Func.Name())
+	}
+	path := set.TaintPath(stamp.Node, o)
+	if got := callgraph.FormatPath(path); got != "a.stamp → a.now" {
+		t.Errorf("TaintPath = %q, want %q", got, "a.stamp → a.now")
+	}
+}
+
+func TestReturnFromParamWithoutTaint(t *testing.T) {
+	_, g, set := load(t)
+	launder := set.Of(nodeByName(t, g, "a.launder"))
+	if !launder.ReturnFromParam.Has(0) {
+		t.Error("launder should return its parameter")
+	}
+	if len(launder.ReturnTaint) != 0 {
+		t.Errorf("launder ReturnTaint = %v, want none", launder.ReturnTaint)
+	}
+	pick := set.Of(nodeByName(t, g, "a.pick"))
+	if !pick.ReturnFromParam.Has(0) {
+		t.Error("pick should return its parameter on one path")
+	}
+	if len(pick.ReturnTaint) != 1 || pick.ReturnTaint[0].Kind != summary.KindEnv {
+		t.Errorf("pick ReturnTaint = %v, want one environment origin", pick.ReturnTaint)
+	}
+}
+
+func TestParamAndGlobalWrites(t *testing.T) {
+	pkg, g, set := load(t)
+	bump := set.Of(nodeByName(t, g, "a.bump"))
+	if !bump.ParamWrites.Has(0) {
+		t.Error("bump should write through its pointer parameter")
+	}
+	counter := pkgVar(t, pkg, "counter")
+	bc := set.Of(nodeByName(t, g, "a.bumpCounter"))
+	w := bc.GlobalWrites[counter]
+	if w == nil {
+		t.Fatal("bumpCounter should write counter via bump")
+	}
+	if w.Via != bump.Node {
+		t.Errorf("counter write Via = %v, want a.bump", w.Via)
+	}
+	if got := callgraph.FormatPath(set.WritePath(bc.Node, counter)); got != "a.bumpCounter → a.bump" {
+		t.Errorf("WritePath = %q", got)
+	}
+
+	gauge := pkgVar(t, pkg, "gauge")
+	record := set.Of(nodeByName(t, g, "a.record"))
+	if w := record.GlobalWrites[gauge]; w == nil || w.Via != nil {
+		t.Errorf("record should write gauge directly, got %+v", w)
+	}
+	cr := set.Of(nodeByName(t, g, "a.callsRecord"))
+	if w := cr.GlobalWrites[gauge]; w == nil || w.Via != record.Node {
+		t.Errorf("callsRecord should write gauge via record, got %+v", w)
+	}
+}
+
+func TestParamEscapes(t *testing.T) {
+	_, g, set := load(t)
+	store := set.Of(nodeByName(t, g, "a.store"))
+	if !store.ParamWrites.Has(0) {
+		t.Error("store should write through dst")
+	}
+	if !store.ParamEscapes.Has(1) {
+		t.Error("store should record v as escaping (appended into *dst)")
+	}
+}
+
+func TestAllocWitnesses(t *testing.T) {
+	_, g, set := load(t)
+	describe := set.Of(nodeByName(t, g, "a.describe"))
+	if describe.Alloc == nil || describe.Alloc.What != "call to fmt.Sprintf" {
+		t.Fatalf("describe Alloc = %+v, want fmt.Sprintf witness", describe.Alloc)
+	}
+	via := set.Of(nodeByName(t, g, "a.viaDescribe"))
+	if via.Alloc == nil || via.Alloc.Via != describe.Node {
+		t.Fatalf("viaDescribe Alloc = %+v, want witness via a.describe", via.Alloc)
+	}
+	if got := callgraph.FormatPath(set.AllocPath(via.Node)); got != "a.viaDescribe → a.describe" {
+		t.Errorf("AllocPath = %q", got)
+	}
+	if pure := set.Of(nodeByName(t, g, "a.pure")); pure.Alloc != nil {
+		t.Errorf("pure Alloc = %+v, want nil", pure.Alloc)
+	}
+	if ff := set.Of(nodeByName(t, g, "a.failfast")); ff.Alloc != nil {
+		t.Errorf("failfast Alloc = %+v, want nil (panic arguments are the cold path)", ff.Alloc)
+	}
+}
+
+func TestPureFunctionSummaryIsClean(t *testing.T) {
+	_, g, set := load(t)
+	pure := set.Of(nodeByName(t, g, "a.pure"))
+	if len(pure.ReturnTaint) != 0 || !pure.ParamWrites.Empty() ||
+		!pure.ParamEscapes.Empty() || len(pure.GlobalWrites) != 0 {
+		t.Errorf("pure summary not clean: %+v", pure)
+	}
+	if !pure.ReturnFromParam.Has(0) || !pure.ReturnFromParam.Has(1) {
+		t.Error("pure returns both parameters")
+	}
+}
+
+func TestRecursiveSCCReachesFixpoint(t *testing.T) {
+	_, g, set := load(t)
+	for _, name := range []string{"a.mutual", "a.mutual2"} {
+		sum := set.Of(nodeByName(t, g, name))
+		found := false
+		for _, o := range sum.ReturnTaint {
+			if o.Kind == summary.KindWallClock {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s should carry wall-clock return taint through the recursion", name)
+		}
+	}
+}
+
+func TestClosureCapturedWrites(t *testing.T) {
+	pkg, g, set := load(t)
+	lit := set.Of(nodeByName(t, g, "a.closureCounter$1"))
+	counter := pkgVar(t, pkg, "counter")
+	if lit.GlobalWrites[counter] == nil {
+		t.Error("closure should record its counter write")
+	}
+	foundCaptured := false
+	for obj := range lit.CapturedWrites {
+		if obj.Name() == "n" {
+			foundCaptured = true
+		}
+	}
+	if !foundCaptured {
+		t.Error("closure should record its captured-variable write to n")
+	}
+	cc := set.Of(nodeByName(t, g, "a.closureCounter"))
+	if cc.Alloc == nil {
+		t.Error("closureCounter allocates a capturing closure")
+	}
+}
+
+func TestIIFECapturedParamBecomesParamWrite(t *testing.T) {
+	_, g, set := load(t)
+	fill := set.Of(nodeByName(t, g, "a.fill"))
+	if !fill.ParamWrites.Has(0) {
+		t.Error("fill's immediately-invoked literal writes out, which is fill's parameter")
+	}
+}
+
+func TestResolveCallAlignment(t *testing.T) {
+	pkg, g, set := load(t)
+	// Find the bump(&counter) call inside bumpCounter and resolve it.
+	var call *ast.CallExpr
+	bc := nodeByName(t, g, "a.bumpCounter")
+	ast.Inspect(bc.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call in bumpCounter")
+	}
+	sum, args := set.ResolveCall(pkg.TypesInfo, call)
+	if sum == nil || sum.Node != nodeByName(t, g, "a.bump") {
+		t.Fatalf("ResolveCall resolved to %+v, want a.bump", sum)
+	}
+	if len(args) != 1 || sum.ArgIndex(0) != 0 {
+		t.Errorf("args = %v, ArgIndex(0) = %d", args, sum.ArgIndex(0))
+	}
+}

@@ -1,0 +1,61 @@
+package detflowfix
+
+import "time"
+
+// now is one frame of laundering: its callers never mention time directly.
+// (It is itself a finding — the clock value is its return value.)
+func now() time.Time { return time.Now() } // want `wall-clock value from time\.Now \(line \d+\) is returned to the caller`
+
+// nowNow adds a second frame; flagged for the same reason, with the path.
+func nowNow() time.Time { return now() } // want `wall-clock value from time\.Now \(line \d+, via detflowfix\.now\) is returned to the caller`
+
+// Flagged: the clock value crosses one call frame before being returned.
+func sampleOnce() time.Time {
+	t := now()
+	return t // want `wall-clock value from time\.Now \(line \d+, via detflowfix\.now\) is returned to the caller`
+}
+
+// Flagged: two frames of laundering; the message names the full call path.
+func sampleTwice() time.Time {
+	return nowNow() // want `wall-clock value from time\.Now \(line \d+, via detflowfix\.nowNow → detflowfix\.now\) is returned to the caller`
+}
+
+var retained []int64
+
+// retain stores its argument where it outlives the call.
+func retain(v int64) { retained = append(retained, v) }
+
+// Flagged: the callee's summary shows the tainted argument escaping.
+func leakThroughCallee() {
+	d := time.Since(time.Unix(0, 0))
+	retain(int64(d)) // want `wall-clock value from time\.Since \(line \d+\) is stored beyond this call by detflowfix\.retain`
+}
+
+// clamp returns its input on one path; taint flows through the summary's
+// return-from-param bit, with the origin staying at the local source line.
+func clamp(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Flagged: taint survives a pass-through helper.
+func throughClamp() int64 {
+	v := int64(time.Now().UnixNano())
+	return clamp(v) // want `wall-clock value from time\.Now \(line \d+\) is returned to the caller`
+}
+
+// scale neither stores nor returns its argument-derived taint: it returns
+// a fresh constant, so its summary proves the call is a sanitizer.
+func scale(v int64) int64 {
+	_ = v
+	return 42
+}
+
+// OK: the summary shows scale's result does not depend on its argument, so
+// the conservative any-tainted-argument rule does not fire.
+func throughScale() int64 {
+	v := int64(time.Now().UnixNano())
+	return scale(v)
+}

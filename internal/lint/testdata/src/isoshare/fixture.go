@@ -1,0 +1,119 @@
+// Package isosharefix is the isoshare analyzer's fixture: worker closures
+// handed to sweep.Map/Each must not write shared mutable state, and fan-out
+// functions must merge results in canonical index order.
+package isosharefix
+
+import (
+	"rtseed/internal/sweep"
+)
+
+var calls int
+
+var registry = map[int]int{}
+
+// Flagged: the worker bumps a package-level counter.
+func countingWorkers(workers, n int) ([]int, error) {
+	return sweep.Map(workers, n, func(i int) (int, error) {
+		calls++ // want `parallel worker closure writes package-level calls; workers share it and the result depends on scheduling`
+		return i * i, nil
+	})
+}
+
+func bump() { calls++ }
+
+// Flagged: the same write laundered through a helper; the finding carries
+// the call path.
+func countingViaHelper(workers, n int) ([]int, error) {
+	return sweep.Map(workers, n, func(i int) (int, error) { // want `parallel worker closure writes package-level calls \(via isosharefix\.bump\); workers share it and the result depends on scheduling`
+		bump()
+		return i, nil
+	})
+}
+
+// Flagged: a captured accumulator is a cross-worker race and its final
+// value depends on scheduling.
+func capturedTotal(workers, n int) (int, error) {
+	total := 0
+	err := sweep.Each(workers, n, func(i int) error {
+		total += i // want `parallel worker closure writes captured total without indexing by its cell parameter`
+		return nil
+	})
+	return total, err
+}
+
+// Flagged: a captured map write races even when the key is the cell index —
+// map internals are shared.
+func capturedMapIsStillAMap(workers, n int) error {
+	return sweep.Each(workers, n, func(i int) error {
+		registry[i] = i // want `parallel worker closure writes package-level registry`
+		return nil
+	})
+}
+
+// OK: the out[i] slot protocol — each worker writes only its own element.
+func slotProtocol(workers, n int) ([]int, error) {
+	out := make([]int, n)
+	err := sweep.Each(workers, n, func(i int) error {
+		out[i] = i * 2
+		return nil
+	})
+	return out, err
+}
+
+type cell struct{ v int }
+
+func (c *cell) run() { c.v++ }
+
+// OK: mutating sims[i] through a method is still the slot protocol (the
+// cluster layer's per-epoch machine step).
+func slotMethod(workers int, cells []*cell) error {
+	return sweep.Each(workers, len(cells), func(i int) error {
+		cells[i].run()
+		return nil
+	})
+}
+
+// Flagged: writing through a captured pointer that is not indexed by the
+// cell parameter shares one cell across all workers.
+func sharedPointer(workers, n int, shared *cell) error {
+	return sweep.Each(workers, n, func(i int) error {
+		shared.v = i // want `parallel worker closure writes captured shared without indexing by its cell parameter`
+		return nil
+	})
+}
+
+// Flagged: merging fan-out results by ranging a map orders the merge by map
+// iteration, which varies with worker count and run.
+func mapMerge(workers, n int) (int, error) {
+	res, err := sweep.Map(workers, n, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		return 0, err
+	}
+	byKey := map[int]int{}
+	for i, v := range res {
+		byKey[i%3] += v
+	}
+	sum := 0
+	for _, v := range byKey { // want `fan-out results are merged by ranging over byKey, a map; iterate in canonical index order`
+		sum += v
+	}
+	return sum, nil
+}
+
+// OK: a waived merge — the reduction is order-insensitive and reviewed.
+func waivedMerge(workers, n int) (int, error) {
+	res, err := sweep.Map(workers, n, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		return 0, err
+	}
+	byKey := map[int]int{}
+	for i, v := range res {
+		byKey[i%3] += v
+	}
+	sum := 0
+	//rtseed:shared-ok integer sum is order-insensitive
+	for _, v := range byKey {
+		sum += v
+	}
+	return sum, nil
+}

@@ -44,6 +44,7 @@ import (
 	"rtseed/internal/lint/detflow"
 	"rtseed/internal/lint/eventhandle"
 	"rtseed/internal/lint/exhaustive"
+	"rtseed/internal/lint/isoshare"
 	"rtseed/internal/lint/noalloc"
 	"rtseed/internal/lint/timeunits"
 )
@@ -54,35 +55,39 @@ var Analyzer = &lint.Analyzer{
 	Doc: "flag stale and misplaced //rtseed: directives\n\n" +
 		"Re-runs the waiver-consuming analyzers with waivers disabled and flags\n" +
 		"every //rtseed:alloc-ok, handle-ok, nondeterministic-ok, partial-ok,\n" +
-		"units-ok, and bodystep-ok that no longer shields a live finding, plus\n" +
-		"directives attached to the wrong kind of code and kernelctx-entry\n" +
-		"blessings that no longer reach kernel context.",
+		"units-ok, bodystep-ok, and shared-ok that no longer shields a live\n" +
+		"finding, plus directives attached to the wrong kind of code and\n" +
+		"kernelctx-entry blessings that no longer reach kernel context.",
 	RunModule: run,
 }
 
-// audited maps each waiver directive to the analyzers whose findings it
-// waives. nondeterministic-ok is consumed by two tiers — the syntactic
-// determinism analyzer and the taint-based detflow analyzer — so a waiver
-// is live if either still finds a violation under it.
+// audited maps each waiver directive to the per-package analyzers whose
+// findings it waives. nondeterministic-ok is consumed by two tiers — the
+// syntactic determinism analyzer here and the taint-based detflow module
+// analyzer below — so a waiver is live if either still finds a violation
+// under it.
 var audited = []struct {
 	dir      string
 	analyzer *lint.Analyzer
 }{
-	{lint.DirAllocOK, noalloc.Analyzer},
 	{lint.DirHandleOK, eventhandle.Analyzer},
 	{lint.DirNondeterministic, determinism.Analyzer},
-	{lint.DirNondeterministic, detflow.Analyzer},
 	{lint.DirPartialOK, exhaustive.Analyzer},
 	{lint.DirUnitsOK, timeunits.Analyzer},
 }
 
 // auditedModule maps waiver directives consumed by module-level analyzers,
 // which are audited once over the whole loaded set rather than per package.
+// The audit runs share the module cache, so the call graph and function
+// summaries are built once per rtseed-vet invocation, not once per auditor.
 var auditedModule = []struct {
 	dir      string
 	analyzer *lint.Analyzer
 }{
+	{lint.DirAllocOK, noalloc.Analyzer},
 	{lint.DirBodyStepOK, bodystep.Analyzer},
+	{lint.DirNondeterministic, detflow.Analyzer},
+	{lint.DirSharedOK, isoshare.Analyzer},
 }
 
 // inAuditScope reports whether an analyzer's audit pass runs on importPath.
@@ -93,11 +98,11 @@ func inAuditScope(a *lint.Analyzer, importPath string) bool {
 }
 
 func run(mp *lint.ModulePass) error {
-	g := callgraph.Build(mp.Pkgs)
+	g := callgraph.Shared(mp)
 
 	moduleUsed := map[*lint.Directive]bool{}
 	for _, a := range auditedModule {
-		_, u, err := lint.RunModuleAnalyzerAudit(a.analyzer, mp.Pkgs)
+		_, u, err := lint.RunModuleAnalyzerAuditCached(a.analyzer, mp.Pkgs, mp.Cache())
 		if err != nil {
 			return err
 		}
@@ -127,7 +132,7 @@ func run(mp *lint.ModulePass) error {
 
 		for _, d := range pkg.Directives.All() {
 			switch d.Name {
-			case lint.DirAllocOK, lint.DirHandleOK, lint.DirNondeterministic, lint.DirPartialOK, lint.DirUnitsOK:
+			case lint.DirHandleOK, lint.DirPartialOK, lint.DirUnitsOK:
 				if used[d] {
 					continue
 				}
@@ -138,9 +143,27 @@ func run(mp *lint.ModulePass) error {
 				}
 				mp.ReportfAt(d.Pos, "stale //rtseed:%s: the %s finding it waives no longer exists (remove the waiver)",
 					d.Name, analyzerFor(d.Name))
-			case lint.DirBodyStepOK:
+			case lint.DirNondeterministic:
+				// Consumed by two tiers: the per-package syntactic
+				// determinism analyzer and the module-level detflow taint
+				// analyzer. Both share the determinism scope, so a waiver in
+				// a package the per-package audit skipped is misplaced.
+				if used[d] || moduleUsed[d] {
+					continue
+				}
+				if !ran[d.Name] {
+					mp.ReportfAt(d.Pos, "misplaced //rtseed:%s: package %s is outside the %s contract's scope",
+						d.Name, pkg.ImportPath, analyzerFor(d.Name))
+					continue
+				}
+				mp.ReportfAt(d.Pos, "stale //rtseed:%s: the %s finding it waives no longer exists (remove the waiver)",
+					d.Name, analyzerFor(d.Name))
+			case lint.DirAllocOK, lint.DirBodyStepOK, lint.DirSharedOK:
+				// Module-analyzer waivers: the auditors self-scope, so
+				// staleness is the only drift to catch here.
 				if !moduleUsed[d] {
-					mp.ReportfAt(d.Pos, "stale //rtseed:bodystep-ok: the bodystep finding it waives no longer exists (remove the waiver)")
+					mp.ReportfAt(d.Pos, "stale //rtseed:%s: the %s finding it waives no longer exists (remove the waiver)",
+						d.Name, analyzerFor(d.Name))
 				}
 			case lint.DirNoalloc:
 				if placement.onDecl[d] == nil {
@@ -167,10 +190,15 @@ func run(mp *lint.ModulePass) error {
 }
 
 // analyzerFor names the analyzers whose findings a waiver directive waives,
-// slash-joined when the directive serves more than one.
+// slash-joined when the directive serves more than one tier.
 func analyzerFor(dir string) string {
 	var names []string
 	for _, a := range audited {
+		if a.dir == dir {
+			names = append(names, a.analyzer.Name)
+		}
+	}
+	for _, a := range auditedModule {
 		if a.dir == dir {
 			names = append(names, a.analyzer.Name)
 		}

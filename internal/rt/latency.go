@@ -22,8 +22,6 @@ type WakeLatency struct {
 // MeasureWakeLatency runs n periodic wakes at the given period and measures
 // each wake's lag behind its absolute release time. It honours ctx for
 // cancellation; the returned summary covers the wakes that ran.
-//
-//rtseed:nondeterministic-ok measures the host's real wake-up latency; wall-clock reads are the measurement
 func MeasureWakeLatency(ctx context.Context, n int, period time.Duration) (WakeLatency, error) {
 	if n <= 0 || period <= 0 {
 		n = 0

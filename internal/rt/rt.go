@@ -88,8 +88,6 @@ func NewRunner(cfg Config) (*Runner, error) {
 // Run executes the configured jobs, blocking until they finish or ctx is
 // cancelled. It returns the reports of the completed jobs (all of them
 // unless cancelled early).
-//
-//rtseed:nondeterministic-ok this runtime executes on the real clock by design; the reproducible counterpart is the simulator
 func (r *Runner) Run(ctx context.Context) ([]JobReport, error) {
 	start := time.Now()
 	reports := make([]JobReport, 0, r.cfg.Jobs)
@@ -151,8 +149,6 @@ func clamp01(v float64) float64 {
 }
 
 // sleepUntil sleeps until the absolute instant at, honouring cancellation.
-//
-//rtseed:nondeterministic-ok sleeping to an absolute wall-clock release is the package's purpose
 func sleepUntil(ctx context.Context, at time.Time) error {
 	d := time.Until(at)
 	if d <= 0 {

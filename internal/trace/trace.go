@@ -18,6 +18,7 @@
 package trace
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"time"
@@ -254,6 +255,12 @@ func New(cfg Config) *Tracer {
 		capacity: capacity,
 		sink:     cfg.Sink,
 	}
+	// Ring buffers are allocated eagerly so Emit is allocation-free from the
+	// first record: every construction site sizes CPUs from the machine
+	// topology, and a simulated CPU that never runs costs one idle ring.
+	for i := range tr.rings {
+		tr.rings[i].buf = make([]Record, capacity)
+	}
 	if cfg.Sink != nil {
 		tr.encBuf = make([]byte, capacity*recordSize)
 	}
@@ -266,19 +273,17 @@ func New(cfg Config) *Tracer {
 func (tr *Tracer) Tap(fn func(Record)) { tr.observers = append(tr.observers, fn) }
 
 // Emit appends one record to cpu's ring. This is the hot path: it never
-// blocks and never allocates in steady state (the one-time ring allocation
-// on a CPU's first record is the only cold start).
+// blocks and never allocates — rings are sized and allocated at New from
+// the machine topology. Emitting on a CPU beyond the configured count is a
+// construction bug, not a growth event, and panics.
 //
 //rtseed:noalloc
 //rtseed:kernelctx
 func (tr *Tracer) Emit(at engine.Time, cpu uint16, tid uint32, kind Kind, arg uint64) {
 	if int(cpu) >= len(tr.rings) {
-		tr.growRings(int(cpu))
+		panic(fmt.Sprintf("trace: Emit on CPU %d, but the tracer was built for %d CPUs", cpu, len(tr.rings)))
 	}
 	r := &tr.rings[cpu]
-	if r.buf == nil {
-		r.buf = tr.newRing()
-	}
 	tr.seq++
 	rec := Record{Seq: tr.seq, At: at, Arg: arg, TID: tid, CPU: cpu, Kind: kind}
 	for _, fn := range tr.observers {
@@ -295,17 +300,6 @@ func (tr *Tracer) Emit(at engine.Time, cpu uint16, tid uint32, kind Kind, arg ui
 	r.w++
 	r.count++
 }
-
-// growRings extends the per-CPU table to cover cpu (cold path, once per
-// newly seen CPU band).
-func (tr *Tracer) growRings(cpu int) {
-	rings := make([]cpuRing, cpu+1)
-	copy(rings, tr.rings)
-	tr.rings = rings
-}
-
-// newRing allocates one CPU's buffer (cold path, once per active CPU).
-func (tr *Tracer) newRing() []Record { return make([]Record, tr.capacity) }
 
 // Lost returns the per-CPU counts of records overwritten by ring wraparound
 // (flight-recorder mode; always zero per CPU when a sink is attached).

@@ -114,15 +114,16 @@ func TestFlightRecorderOverflowCountsLost(t *testing.T) {
 	}
 }
 
-func TestEmitGrowsCPUTable(t *testing.T) {
+func TestEmitBeyondConfiguredCPUsPanics(t *testing.T) {
+	// Rings are sized once, from the machine topology, at New; an emit on a
+	// CPU beyond that is a construction bug, not a growth event.
 	tr := New(Config{CPUs: 1, Capacity: 4})
-	tr.Emit(at(1), 5, 1, KindReady, 0) // beyond the pre-sized table
-	if len(tr.Lost()) != 6 {
-		t.Fatalf("ring table has %d entries, want 6", len(tr.Lost()))
-	}
-	if recs := tr.Records(); len(recs) != 1 || recs[0].CPU != 5 {
-		t.Fatalf("records %v", recs)
-	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Emit beyond the configured CPU count must panic")
+		}
+	}()
+	tr.Emit(at(1), 5, 1, KindReady, 0)
 }
 
 func TestTapSeesOverwrittenRecords(t *testing.T) {
